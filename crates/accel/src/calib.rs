@@ -1,0 +1,239 @@
+//! Hardware and framework calibration constants.
+//!
+//! Every timing the simulator produces flows through the numbers in this
+//! module, so they are collected in one place and documented. Three kinds
+//! of constants appear:
+//!
+//! 1. **Public hardware specifications** (A100 FP64 peak, HBM2e bandwidth,
+//!    PCIe gen4 bandwidth, Milan core count) — taken from vendor datasheets.
+//! 2. **Well-known rules of thumb** (kernel launch latency ~5 µs, achieved
+//!    fractions of peak) — standard values from the GPU literature.
+//! 3. **Paper-calibrated factors** — where the paper reports a behaviour we
+//!    cannot derive from first principles (e.g. the XLA CPU backend running
+//!    7.4× slower than parallel C++), the factor is set to land in the
+//!    reported range and is flagged `paper-calibrated` in its doc comment.
+
+/// Cost model of one accelerator (A100-like).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceCalib {
+    /// Peak FP64 throughput, flop/s. A100 (non-tensor-core FP64): 9.7 TF.
+    pub fp64_peak: f64,
+    /// Achievable HBM bandwidth, B/s. A100 40 GB HBM2e: 1.555 TB/s peak;
+    /// we use a standard ~80% achieved fraction.
+    pub hbm_bw: f64,
+    /// Device memory capacity in bytes (40 GB A100).
+    pub mem_bytes: u64,
+    /// Host-visible kernel launch latency in seconds (~5 µs, the standard
+    /// CUDA figure).
+    pub launch_latency: f64,
+    /// Work items needed to saturate the device. A100: 108 SMs × 2048
+    /// resident threads.
+    pub saturation_items: f64,
+    /// PCIe gen4 ×16 effective host↔device bandwidth, B/s (~25 GB/s).
+    pub pcie_bw: f64,
+    /// Per-transfer fixed latency in seconds (driver + DMA setup ~10 µs).
+    pub pcie_latency: f64,
+    /// Cost of a CUDA context switch between processes when MPS is off:
+    /// a full device state swap plus scheduling-quantum loss, several
+    /// milliseconds in practice (paper § 3.1.2: without MPS the driver
+    /// context-switches between processes, capping throughput at ~one
+    /// process per device).
+    pub context_switch: f64,
+    /// MPS scheduling/crowding penalty per *additional* client sharing a
+    /// GPU: kernels slow by `1 + mps_crowding · (clients − 1)`.
+    /// Paper-calibrated: Fig. 4's speedup peaks at 2 processes per GPU and
+    /// "slowly decreases … as we progressively lose the oversubscription
+    /// benefit".
+    pub mps_crowding: f64,
+    /// Device-side allocation cost (cudaMalloc-style, ~100 µs); the reason
+    /// both the paper's OpenMP port and JAX use memory pools.
+    pub alloc_latency: f64,
+}
+
+impl Default for DeviceCalib {
+    fn default() -> Self {
+        Self {
+            fp64_peak: 9.7e12,
+            hbm_bw: 0.8 * 1.555e12,
+            mem_bytes: 40 * (1 << 30) as u64,
+            launch_latency: 5e-6,
+            saturation_items: 108.0 * 2048.0,
+            pcie_bw: 2.5e10,
+            pcie_latency: 1e-5,
+            context_switch: 6e-3,
+            mps_crowding: 0.5,
+            alloc_latency: 1e-4,
+        }
+    }
+}
+
+/// Cost model of the host CPU (64-core AMD Milan-like).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCalib {
+    /// Cores per node.
+    pub cores: u32,
+    /// Achieved FP64 throughput of one core, flop/s. Milan: 2.45 GHz ×
+    /// 2×256-bit FMA ≈ 39 GF peak; HPC codes achieve ~25–30%.
+    pub core_flops: f64,
+    /// Achieved memory bandwidth of the socket, B/s (8-channel DDR4-3200:
+    /// 204.8 GB/s peak, ~70% achieved).
+    pub socket_bw: f64,
+    /// Host memory capacity in bytes (256 GB per Perlmutter GPU node).
+    pub mem_bytes: u64,
+    /// Thread-team scaling penalty: kernel time is inflated by
+    /// `1 + thread_overhead · log2(threads)` — OpenMP synchronisation and
+    /// NUMA effects make one 64-thread process slower than 16 four-thread
+    /// processes on the same data, part of why the paper's CPU curve falls
+    /// with process count (Fig. 4).
+    pub thread_overhead: f64,
+}
+
+impl Default for CpuCalib {
+    fn default() -> Self {
+        Self {
+            cores: 64,
+            core_flops: 1.1e10,
+            socket_bw: 1.4e11,
+            mem_bytes: 256 * (1 << 30) as u64,
+            thread_overhead: 0.12,
+        }
+    }
+}
+
+/// Framework-level overheads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameworkCalib {
+    /// arrayjit per-call dispatch cost: signature hashing + JIT-cache
+    /// lookup + argument staging. Paper-calibrated: footnote 10 attributes
+    /// the consistent ~20% JAX deficit to runtime-level overheads.
+    pub jit_dispatch: f64,
+    /// arrayjit one-time trace+compile cost per (function, shape
+    /// signature), seconds. JAX compiles small kernels like these in
+    /// ~100 ms each; the paper's runtimes include this cost.
+    pub jit_compile: f64,
+    /// offload per-target-region entry cost (runtime bookkeeping on top of
+    /// the raw launch).
+    pub omp_region: f64,
+    /// Multiplier on device memory footprint for the arrayjit pool slack +
+    /// padded intermediates. Paper-calibrated: the medium problem fits one
+    /// OMP process on a 40 GB device but not one JAX process (§ 4.1).
+    pub jit_mem_overhead: f64,
+    /// Fixed device bytes each arrayjit process reserves (CUDA context +
+    /// XLA workspace). Paper-calibrated jointly with
+    /// `omp_process_device_bytes` so Fig. 4's out-of-memory pattern
+    /// emerges: JAX OOMs at 1 and 64 processes, offload only at 64.
+    pub jit_process_device_bytes: f64,
+    /// Fixed device bytes each offload process reserves (CUDA context +
+    /// NVHPC OpenMP runtime device heap). Paper-calibrated; see above.
+    pub omp_process_device_bytes: f64,
+    /// Proportional runtime-level inefficiency of the arrayjit device path
+    /// relative to the offload path: the extra host-side time per call is
+    /// `(factor − 1) ×` the call's device time. Paper-calibrated: footnote
+    /// 10 observes JAX's deficit is *proportional* to runtime rather than
+    /// a constant per-call cost, "pointing towards performance differences
+    /// at the runtime level".
+    pub jit_runtime_factor: f64,
+    /// Sequential-efficiency factor of the arrayjit CPU backend relative to
+    /// one optimised C++ core. Paper-calibrated: § 4.2 reports the CPU
+    /// backend "roughly comparable to single-core C++" yet 7.4× slower than
+    /// the 4-thread parallel baseline including copy overheads.
+    pub jit_cpu_backend_eff: f64,
+}
+
+impl Default for FrameworkCalib {
+    fn default() -> Self {
+        Self {
+            jit_dispatch: 4e-5,
+            jit_compile: 0.12,
+            omp_region: 8e-6,
+            jit_mem_overhead: 1.7,
+            jit_process_device_bytes: 2.2e9,
+            omp_process_device_bytes: 2.6e9,
+            jit_runtime_factor: 2.5,
+            jit_cpu_backend_eff: 0.27,
+        }
+    }
+}
+
+/// Full node calibration: CPU + identical GPUs + framework factors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeCalib {
+    pub cpu: CpuCalib,
+    pub gpu: DeviceCalib,
+    pub framework: FrameworkCalib,
+}
+
+impl NodeCalib {
+    /// Calibration for a run whose *data* is scaled down by `work_scale`
+    /// relative to the paper's problem sizes.
+    ///
+    /// Bandwidths and flop rates are physical and stay fixed, but every
+    /// fixed per-call latency (launches, dispatch, compiles, transfers,
+    /// context switches), every capacity (device and host memory) and the
+    /// device's saturation point scale *with* the data, so that simulated
+    /// runtimes are exactly `work_scale ×` the paper-scale runtimes and
+    /// every reported *ratio* is scale-invariant. See DESIGN.md § 7.
+    pub fn scaled(work_scale: f64) -> Self {
+        assert!(work_scale > 0.0 && work_scale <= 1.0);
+        let mut c = Self::default();
+        c.gpu.launch_latency *= work_scale;
+        c.gpu.pcie_latency *= work_scale;
+        c.gpu.context_switch *= work_scale;
+        c.gpu.alloc_latency *= work_scale;
+        c.gpu.mem_bytes = ((c.gpu.mem_bytes as f64) * work_scale) as u64;
+        c.gpu.saturation_items *= work_scale;
+        c.cpu.mem_bytes = ((c.cpu.mem_bytes as f64) * work_scale) as u64;
+        c.framework.jit_dispatch *= work_scale;
+        c.framework.jit_compile *= work_scale;
+        c.framework.omp_region *= work_scale;
+        c.framework.jit_process_device_bytes *= work_scale;
+        c.framework.omp_process_device_bytes *= work_scale;
+        c
+    }
+}
+
+/// Interconnect model for multi-node runs (Slingshot-like).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetCalib {
+    /// Per-NIC injection bandwidth, B/s (Slingshot-10: ~12.5 GB/s).
+    pub bw: f64,
+    /// Per-message latency, seconds.
+    pub latency: f64,
+}
+
+impl Default for NetCalib {
+    fn default() -> Self {
+        Self {
+            bw: 1.25e10,
+            latency: 2e-6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_physical() {
+        let d = DeviceCalib::default();
+        assert!(d.fp64_peak > 1e12 && d.fp64_peak < 1e14);
+        assert!(d.hbm_bw > d.pcie_bw, "HBM must beat PCIe");
+        assert!(d.mem_bytes as f64 > 1e10);
+        let c = CpuCalib::default();
+        // Node-level GPU FP64 peak should dwarf the CPU's: the premise of
+        // the whole porting exercise.
+        assert!(4.0 * d.fp64_peak > 10.0 * c.cores as f64 * c.core_flops);
+    }
+
+    #[test]
+    fn framework_overheads_are_ordered() {
+        let f = FrameworkCalib::default();
+        // Per-call: jit dispatch > omp region entry > raw launch.
+        let d = DeviceCalib::default();
+        assert!(f.jit_dispatch > f.omp_region);
+        assert!(f.omp_region > d.launch_latency);
+        // Compile is orders of magnitude above dispatch.
+        assert!(f.jit_compile > 1000.0 * f.jit_dispatch);
+    }
+}

@@ -1,0 +1,92 @@
+//! Inter-node communication cost model.
+//!
+//! The paper's large benchmark (Fig. 5) runs on 8 nodes and its reported
+//! runtime "includes the MPI communication cost". Map-making reduces
+//! per-rank partial sky maps with an allreduce each conjugate-gradient
+//! iteration; this module prices those collectives with the standard
+//! latency–bandwidth models for ring/recursive-doubling algorithms.
+
+use crate::calib::NetCalib;
+
+/// Seconds for an allreduce of `bytes` across `ranks` processes using the
+/// ring algorithm (bandwidth-optimal for large messages):
+/// `2·(n−1)/n · bytes / bw + 2·(n−1) · latency`.
+pub fn allreduce_seconds(net: &NetCalib, ranks: u32, bytes: f64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let n = ranks as f64;
+    2.0 * (n - 1.0) / n * bytes / net.bw + 2.0 * (n - 1.0) * net.latency
+}
+
+/// Seconds for a reduce-scatter of `bytes` (ring): `(n−1)/n · bytes / bw`.
+pub fn reduce_scatter_seconds(net: &NetCalib, ranks: u32, bytes: f64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let n = ranks as f64;
+    (n - 1.0) / n * bytes / net.bw + (n - 1.0) * net.latency
+}
+
+/// Seconds for a broadcast of `bytes` (binomial tree):
+/// `log2(n) · (latency + bytes / bw)`.
+pub fn broadcast_seconds(net: &NetCalib, ranks: u32, bytes: f64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let steps = (ranks as f64).log2().ceil();
+    steps * (net.latency + bytes / net.bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetCalib {
+        NetCalib::default()
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        assert_eq!(allreduce_seconds(&net(), 1, 1e9), 0.0);
+        assert_eq!(broadcast_seconds(&net(), 1, 1e9), 0.0);
+        assert_eq!(reduce_scatter_seconds(&net(), 1, 1e9), 0.0);
+    }
+
+    #[test]
+    fn allreduce_approaches_twice_bandwidth_time() {
+        // For large n and large messages the ring allreduce costs
+        // ~2·bytes/bw.
+        let bytes = 1e10;
+        let t = allreduce_seconds(&net(), 1024, bytes);
+        let lower = 2.0 * bytes / net().bw * (1023.0 / 1024.0);
+        assert!(t >= lower);
+        assert!(t < 1.1 * (2.0 * bytes / net().bw) + 3.0);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let small = allreduce_seconds(&net(), 128, 8.0);
+        let expected_latency = 2.0 * 127.0 * net().latency;
+        assert!((small - expected_latency).abs() / expected_latency < 0.01);
+    }
+
+    #[test]
+    fn costs_grow_with_ranks() {
+        let bytes = 1e8;
+        let t2 = allreduce_seconds(&net(), 2, bytes);
+        let t16 = allreduce_seconds(&net(), 16, bytes);
+        assert!(t16 > t2);
+        let b2 = broadcast_seconds(&net(), 2, bytes);
+        let b16 = broadcast_seconds(&net(), 16, bytes);
+        assert!(b16 > b2);
+    }
+
+    #[test]
+    fn reduce_scatter_is_half_an_allreduce() {
+        let bytes = 1e9;
+        let rs = reduce_scatter_seconds(&net(), 64, bytes);
+        let ar = allreduce_seconds(&net(), 64, bytes);
+        assert!((ar / rs - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-process simulation context: the recording side of the simulator.
+//!
+//! Each simulated MPI rank owns one [`Context`]. Framework code calls into
+//! it to charge host compute, launch kernels, move data and account device
+//! memory; the context appends [`Segment`]s to a [`RankTrace`] and keeps
+//! aggregate per-label statistics that the figure harness reads back (the
+//! paper's Fig. 6 per-kernel breakdown).
+
+use std::collections::BTreeMap;
+
+use crate::calib::NodeCalib;
+use crate::profile::KernelProfile;
+use crate::trace::{RankTrace, Segment, TransferDir};
+
+/// Device out-of-memory, mirroring the paper's JAX runs that "do not fit on
+/// GPU memory when running with one and 64 processes".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryError {
+    /// Bytes the failing allocation requested.
+    pub requested: u64,
+    /// Bytes already resident.
+    pub in_use: u64,
+    /// Device capacity available to this rank.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B with {} B in use of {} B",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// The recording context for one simulated process.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// Calibration shared by everything this process touches.
+    pub calib: NodeCalib,
+    /// Device-memory capacity available to this rank (the node model sets
+    /// this to `gpu.mem_bytes / ranks_per_gpu` so OOM emerges from
+    /// oversubscription).
+    pub device_capacity: u64,
+    trace: RankTrace,
+    device_in_use: u64,
+    by_label: BTreeMap<String, LabelStats>,
+}
+
+/// Aggregate statistics for one accounting label.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LabelStats {
+    /// Number of segments recorded under this label.
+    pub calls: u64,
+    /// Estimated solo seconds (device kernels: solo wall time; host
+    /// segments: host seconds; transfers: PCIe time). The node replay
+    /// refines these with contention; these per-label numbers drive the
+    /// per-kernel figure.
+    pub seconds: f64,
+    /// Bytes moved (transfers only).
+    pub bytes: f64,
+}
+
+impl Context {
+    /// A context with the whole device to itself.
+    pub fn new(calib: NodeCalib) -> Self {
+        let cap = calib.gpu.mem_bytes;
+        Self::with_capacity(calib, cap)
+    }
+
+    /// A context limited to `device_capacity` bytes of device memory.
+    pub fn with_capacity(calib: NodeCalib, device_capacity: u64) -> Self {
+        Self {
+            calib,
+            device_capacity,
+            trace: RankTrace::default(),
+            device_in_use: 0,
+            by_label: BTreeMap::new(),
+        }
+    }
+
+    /// Charge `seconds` of host computation under `label`.
+    pub fn host_compute(&mut self, label: impl Into<String>, seconds: f64) {
+        let label = label.into();
+        self.stat(&label).calls += 1;
+        self.stat(&label).seconds += seconds;
+        self.trace.segments.push(Segment::Host { seconds, label });
+    }
+
+    /// Launch a kernel with host-side `dispatch` overhead.
+    pub fn launch(&mut self, profile: KernelProfile, dispatch: f64) {
+        let solo = profile.solo_seconds(&self.calib.gpu) + dispatch + self.calib.gpu.launch_latency;
+        let s = self.stat(&profile.name);
+        s.calls += 1;
+        s.seconds += solo;
+        self.trace.segments.push(Segment::Kernel { profile, dispatch });
+    }
+
+    /// Record a host↔device transfer of `bytes` under the standard
+    /// `accel_data_*` labels.
+    pub fn transfer(&mut self, bytes: f64, dir: TransferDir) {
+        self.transfer_labeled(bytes, dir, dir.label());
+    }
+
+    /// Record a transfer under a custom label (e.g. `accel_data_reset` for
+    /// device-side zeroing, which the paper charges separately).
+    pub fn transfer_labeled(&mut self, bytes: f64, dir: TransferDir, label: impl Into<String>) {
+        let label = label.into();
+        let seconds = self.calib.gpu.pcie_latency + bytes / self.calib.gpu.pcie_bw;
+        let s = self.stat(&label);
+        s.calls += 1;
+        s.seconds += seconds;
+        s.bytes += bytes;
+        self.trace.segments.push(Segment::Transfer { bytes, dir, label });
+    }
+
+    /// Account a device allocation of `bytes`; charges allocator latency
+    /// unless `pooled` (a pool hit costs effectively nothing, the reason
+    /// both ports implement pools).
+    pub fn device_alloc(&mut self, bytes: u64, pooled: bool) -> Result<(), MemoryError> {
+        if self.device_in_use + bytes > self.device_capacity {
+            return Err(MemoryError {
+                requested: bytes,
+                in_use: self.device_in_use,
+                capacity: self.device_capacity,
+            });
+        }
+        self.device_in_use += bytes;
+        self.trace.peak_device_bytes = self.trace.peak_device_bytes.max(self.device_in_use);
+        let seconds = if pooled { 0.0 } else { self.calib.gpu.alloc_latency };
+        if seconds > 0.0 {
+            self.trace.segments.push(Segment::DeviceAlloc { seconds });
+            let s = self.stat("accel_data_alloc");
+            s.calls += 1;
+            s.seconds += seconds;
+        }
+        Ok(())
+    }
+
+    /// Release `bytes` of device memory.
+    pub fn device_free(&mut self, bytes: u64) {
+        debug_assert!(bytes <= self.device_in_use, "free of {bytes} exceeds usage");
+        self.device_in_use = self.device_in_use.saturating_sub(bytes);
+    }
+
+    /// Bytes currently resident on the device.
+    pub fn device_in_use(&self) -> u64 {
+        self.device_in_use
+    }
+
+    /// Peak bytes ever resident.
+    pub fn peak_device_bytes(&self) -> u64 {
+        self.trace.peak_device_bytes
+    }
+
+    /// The recorded timeline.
+    pub fn trace(&self) -> &RankTrace {
+        &self.trace
+    }
+
+    /// Consume the context, returning its trace.
+    pub fn into_trace(self) -> RankTrace {
+        self.trace
+    }
+
+    /// Per-label statistics (kernel names, `accel_data_*` operations,
+    /// host labels), sorted by label.
+    pub fn stats(&self) -> &BTreeMap<String, LabelStats> {
+        &self.by_label
+    }
+
+    /// Total solo-estimate seconds across all labels.
+    pub fn total_seconds(&self) -> f64 {
+        self.by_label.values().map(|s| s.seconds).sum()
+    }
+
+    fn stat(&mut self, label: &str) -> &mut LabelStats {
+        if !self.by_label.contains_key(label) {
+            self.by_label.insert(label.to_string(), LabelStats::default());
+        }
+        self.by_label.get_mut(label).expect("just inserted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::new(NodeCalib::default())
+    }
+
+    #[test]
+    fn memory_accounting_and_oom() {
+        let mut c = Context::with_capacity(NodeCalib::default(), 1000);
+        c.device_alloc(400, true).unwrap();
+        c.device_alloc(600, true).unwrap();
+        assert_eq!(c.device_in_use(), 1000);
+        let err = c.device_alloc(1, true).unwrap_err();
+        assert_eq!(err.in_use, 1000);
+        c.device_free(600);
+        assert_eq!(c.device_in_use(), 400);
+        c.device_alloc(500, true).unwrap();
+        assert_eq!(c.peak_device_bytes(), 1000);
+    }
+
+    #[test]
+    fn pooled_allocs_are_free_of_latency() {
+        let mut c = ctx();
+        c.device_alloc(100, true).unwrap();
+        assert!(c.stats().get("accel_data_alloc").is_none());
+        c.device_alloc(100, false).unwrap();
+        let s = c.stats()["accel_data_alloc"];
+        assert_eq!(s.calls, 1);
+        assert!(s.seconds > 0.0);
+    }
+
+    #[test]
+    fn per_label_stats_accumulate() {
+        let mut c = ctx();
+        c.host_compute("serial", 1.0);
+        c.host_compute("serial", 2.0);
+        c.launch(KernelProfile::uniform("scan_map", 1e6, 10.0, 24.0), 1e-5);
+        c.transfer(1e6, TransferDir::HostToDevice);
+        c.transfer(2e6, TransferDir::HostToDevice);
+        assert_eq!(c.stats()["serial"].calls, 2);
+        assert_eq!(c.stats()["serial"].seconds, 3.0);
+        assert_eq!(c.stats()["scan_map"].calls, 1);
+        let t = c.stats()["accel_data_update_device"];
+        assert_eq!(t.calls, 2);
+        assert_eq!(t.bytes, 3e6);
+        assert!(t.seconds > 3e6 / c.calib.gpu.pcie_bw);
+        assert_eq!(c.trace().kernel_count(), 1);
+    }
+
+    #[test]
+    fn kernel_stat_includes_dispatch_and_launch() {
+        let mut c = ctx();
+        let k = KernelProfile::uniform("k", 1e6, 10.0, 24.0);
+        let solo = k.solo_seconds(&c.calib.gpu);
+        c.launch(k, 1e-3);
+        let s = c.stats()["k"];
+        assert!(s.seconds > solo + 1e-3);
+    }
+}

@@ -1,0 +1,41 @@
+//! An execution-driven accelerator simulator.
+//!
+//! The paper this workspace reproduces measures TOAST kernels on Perlmutter
+//! GPU nodes (4x NVIDIA A100 + 64-core AMD Milan per node). This crate is
+//! the substitution for that hardware: a deterministic cost-model simulator
+//! that the two "GPU frameworks" in this workspace (`arrayjit` and
+//! `offload`) submit work to.
+//!
+//! The design separates *execution* from *timing*:
+//!
+//! * Frameworks execute kernel numerics eagerly on the host (so results are
+//!   real and testable), and
+//! * record what the target hardware would have done as a trace of
+//!   [`trace::Segment`]s on a per-process [`context::Context`] — host
+//!   compute, kernel launches (with a [`profile::KernelProfile`] work
+//!   descriptor), PCIe transfers, allocations.
+//!
+//! A node-level discrete-event simulation ([`node`]) then replays the
+//! traces of all ranks against shared resources: each GPU is a fluid
+//! processor-sharing server (the MPS model) or an exclusive
+//! context-switching server (the no-MPS model the paper's § 3.1.2
+//! describes), each PCIe link is a shared channel, and host segments run
+//! concurrently across ranks. Wall time, per-GPU busy time, queueing and
+//! out-of-memory conditions all *emerge* from the replay.
+//!
+//! Calibration constants live in [`calib`] and are documented against
+//! public A100/Milan specifications; see `DESIGN.md` § 5 for the honesty
+//! policy on constants tuned to the paper's measurements.
+
+pub mod calib;
+pub mod comm;
+pub mod context;
+pub mod node;
+pub mod profile;
+pub mod trace;
+
+pub use calib::{CpuCalib, DeviceCalib, NodeCalib};
+pub use context::{Context, MemoryError};
+pub use node::{simulate_node, NodeConfig, NodeResult};
+pub use profile::KernelProfile;
+pub use trace::{Segment, TransferDir};

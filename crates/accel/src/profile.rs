@@ -1,0 +1,167 @@
+//! Kernel work descriptors and the device-time cost function.
+
+use crate::calib::{CpuCalib, DeviceCalib};
+
+/// A description of the work one kernel launch performs, from which the
+/// simulator derives execution time on any modelled processor.
+///
+/// Frameworks fill this in per launch: the `offload` crate from its launch
+/// bounds and per-item annotations, `arrayjit` from the compiled program's
+/// op graph (fused elementwise chains report their aggregate flops/bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// A stable kernel name for per-kernel accounting (Fig. 6).
+    pub name: String,
+    /// Independent parallel work items exposed to the device (after loop
+    /// collapsing / vmap batching).
+    pub items: f64,
+    /// Useful double-precision operations per item.
+    pub flops_per_item: f64,
+    /// Device-memory bytes touched per item (reads + writes, post-fusion).
+    pub bytes_per_item: f64,
+    /// Branch-divergence multiplier ≥ 1: the factor by which SIMT lockstep
+    /// execution inflates the compute time (fraction of divergent lanes ×
+    /// number of serialised paths). 1.0 for straight-line kernels.
+    pub divergence: f64,
+}
+
+impl KernelProfile {
+    /// A convenience constructor for a uniform (non-divergent) kernel.
+    pub fn uniform(name: impl Into<String>, items: f64, flops: f64, bytes: f64) -> Self {
+        Self {
+            name: name.into(),
+            items,
+            flops_per_item: flops,
+            bytes_per_item: bytes,
+            divergence: 1.0,
+        }
+    }
+
+    /// Total floating-point operations.
+    #[inline]
+    pub fn total_flops(&self) -> f64 {
+        self.items * self.flops_per_item
+    }
+
+    /// Total device-memory traffic in bytes.
+    #[inline]
+    pub fn total_bytes(&self) -> f64 {
+        self.items * self.bytes_per_item
+    }
+
+    /// Device-seconds this kernel needs on a *fully utilised* device: the
+    /// roofline maximum of compute time and memory time, inflated by
+    /// divergence on the compute axis.
+    pub fn device_seconds(&self, gpu: &DeviceCalib) -> f64 {
+        let compute = self.total_flops() / gpu.fp64_peak * self.divergence;
+        let memory = self.total_bytes() / gpu.hbm_bw;
+        compute.max(memory)
+    }
+
+    /// The fraction of the device this kernel can occupy on its own:
+    /// a kernel exposing fewer items than the device has resident lanes
+    /// cannot fill it, which is the mechanism behind the paper's
+    /// oversubscription benefit (two processes per GPU beat one).
+    pub fn solo_utilization(&self, gpu: &DeviceCalib) -> f64 {
+        (self.items / gpu.saturation_items).min(1.0)
+    }
+
+    /// Wall-clock seconds when this kernel runs alone on the device.
+    pub fn solo_seconds(&self, gpu: &DeviceCalib) -> f64 {
+        let u = self.solo_utilization(gpu).max(1e-6);
+        self.device_seconds(gpu) / u
+    }
+
+    /// Seconds on `threads` host cores (the CPU baseline path). Branch
+    /// divergence does not penalise a MIMD CPU; memory traffic contends on
+    /// the shared socket bandwidth.
+    pub fn cpu_seconds(&self, cpu: &CpuCalib, threads: u32) -> f64 {
+        let threads = threads.max(1) as f64;
+        // Thread-team scaling penalty (sync barriers, NUMA).
+        let team = 1.0 + cpu.thread_overhead * threads.log2();
+        let compute = self.total_flops() / (cpu.core_flops * threads) * team;
+        // Memory bandwidth is a socket resource shared by every rank on
+        // the node: a rank's share is proportional to its thread count, so
+        // per-rank memory time is consistent across process decompositions
+        // (threads x processes is constant in the paper's Fig. 4 sweep).
+        let eff_bw = cpu.socket_bw * (threads / cpu.cores as f64).min(1.0);
+        let memory = self.total_bytes() / eff_bw * team;
+        compute.max(memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> DeviceCalib {
+        DeviceCalib::default()
+    }
+
+    fn cpu() -> CpuCalib {
+        CpuCalib::default()
+    }
+
+    #[test]
+    fn roofline_picks_the_binding_resource() {
+        // Compute-bound kernel: many flops, few bytes.
+        let k = KernelProfile::uniform("cb", 1e7, 1e4, 8.0);
+        assert!(
+            (k.device_seconds(&gpu()) - k.total_flops() / gpu().fp64_peak).abs() < 1e-12
+        );
+        // Memory-bound kernel: few flops, many bytes.
+        let k = KernelProfile::uniform("mb", 1e7, 1.0, 64.0);
+        assert!((k.device_seconds(&gpu()) - k.total_bytes() / gpu().hbm_bw).abs() < 1e-15);
+    }
+
+    #[test]
+    fn divergence_only_hurts_compute() {
+        let base = KernelProfile::uniform("d", 1e7, 1e3, 8.0);
+        let mut div = base.clone();
+        div.divergence = 4.0;
+        assert!((div.device_seconds(&gpu()) / base.device_seconds(&gpu()) - 4.0).abs() < 1e-9);
+        // CPU time is unaffected by divergence.
+        assert_eq!(div.cpu_seconds(&cpu(), 8), base.cpu_seconds(&cpu(), 8));
+    }
+
+    #[test]
+    fn small_kernels_cannot_fill_the_device() {
+        let small = KernelProfile::uniform("s", 1e3, 1e3, 8.0);
+        let big = KernelProfile::uniform("b", 1e7, 1e3, 8.0);
+        assert!(small.solo_utilization(&gpu()) < 0.01);
+        assert!((big.solo_utilization(&gpu()) - 1.0).abs() < 1e-12);
+        // Solo wall time of the small kernel is inflated accordingly.
+        assert!(small.solo_seconds(&gpu()) > 50.0 * small.device_seconds(&gpu()));
+    }
+
+    #[test]
+    fn cpu_scales_with_threads_when_compute_bound() {
+        let k = KernelProfile::uniform("c", 1e6, 1e4, 8.0);
+        let t1 = k.cpu_seconds(&cpu(), 1);
+        let t64 = k.cpu_seconds(&cpu(), 64);
+        let speedup = t1 / t64;
+        // 64x the cores, divided by the thread-team penalty (~1.7 at 64).
+        assert!(speedup > 30.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn cpu_memory_bandwidth_shares_by_thread_count() {
+        // Memory-bound kernel: a rank with 16 of 64 threads gets a quarter
+        // of the socket bandwidth.
+        let k = KernelProfile::uniform("m", 1e8, 0.5, 64.0);
+        let t16 = k.cpu_seconds(&cpu(), 16);
+        let t64 = k.cpu_seconds(&cpu(), 64);
+        // 4x bandwidth share, modulated by the team penalty ratio.
+        let team = |t: f64| 1.0 + cpu().thread_overhead * t.log2();
+        let expected = 4.0 * team(16.0) / team(64.0);
+        assert!((t16 / t64 - expected).abs() < 0.05, "ratio {}", t16 / t64);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_big_compute_kernels() {
+        let k = KernelProfile::uniform("big", 1e8, 200.0, 48.0);
+        let gpu_t = k.solo_seconds(&gpu());
+        let cpu_t = k.cpu_seconds(&cpu(), 64);
+        assert!(cpu_t / gpu_t > 5.0, "GPU speedup {}", cpu_t / gpu_t);
+    }
+}

@@ -1,0 +1,137 @@
+//! Trace records: what a simulated process did, in order.
+//!
+//! A [`crate::context::Context`] appends one [`Segment`] per action. The
+//! node-level replay ([`crate::node`]) walks these sequentially per rank —
+//! a segment cannot start before the previous one of the same rank
+//! finished, which models the synchronous launch style both the paper's
+//! ports use.
+
+use crate::profile::KernelProfile;
+
+/// Direction of a host↔device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDir {
+    /// Host to device (`accel_data_update_device` in the paper's Fig. 6).
+    HostToDevice,
+    /// Device to host (`accel_data_update_host`).
+    DeviceToHost,
+}
+
+impl TransferDir {
+    /// The paper's Fig. 6 label for this operation.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferDir::HostToDevice => "accel_data_update_device",
+            TransferDir::DeviceToHost => "accel_data_update_host",
+        }
+    }
+}
+
+/// One step of a rank's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// Host-side computation (serial orchestration, unported kernels, CPU
+    /// kernel implementations) for `seconds` of host time.
+    Host { seconds: f64, label: String },
+    /// A kernel launch on the rank's device. `dispatch` is the host-side
+    /// framework overhead paid before the device sees the kernel.
+    Kernel {
+        profile: KernelProfile,
+        dispatch: f64,
+    },
+    /// A PCIe transfer of `bytes` in direction `dir`.
+    Transfer {
+        bytes: f64,
+        dir: TransferDir,
+        label: String,
+    },
+    /// A device-side allocation or free (latency only; capacity accounting
+    /// happens in [`crate::context::Context`]).
+    DeviceAlloc { seconds: f64 },
+}
+
+impl Segment {
+    /// The accounting label used for per-operation breakdowns.
+    pub fn label(&self) -> &str {
+        match self {
+            Segment::Host { label, .. } => label,
+            Segment::Kernel { profile, .. } => &profile.name,
+            Segment::Transfer { label, .. } => label,
+            Segment::DeviceAlloc { .. } => "accel_data_alloc",
+        }
+    }
+}
+
+/// A whole rank's recorded timeline plus its peak device-memory footprint.
+#[derive(Debug, Clone, Default)]
+pub struct RankTrace {
+    /// Ordered segments.
+    pub segments: Vec<Segment>,
+    /// Peak bytes simultaneously resident on the device.
+    pub peak_device_bytes: u64,
+}
+
+impl RankTrace {
+    /// Sum of all host seconds in the trace.
+    pub fn host_seconds(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Host { seconds, .. } => *seconds,
+                Segment::Kernel { dispatch, .. } => *dispatch,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Number of kernel launches in the trace.
+    pub fn kernel_count(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Kernel { .. }))
+            .count()
+    }
+
+    /// Total bytes transferred over PCIe (both directions).
+    pub fn transfer_bytes(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Transfer { bytes, .. } => *bytes,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accounting() {
+        let mut t = RankTrace::default();
+        t.segments.push(Segment::Host {
+            seconds: 1.5,
+            label: "serial".into(),
+        });
+        t.segments.push(Segment::Kernel {
+            profile: KernelProfile::uniform("k", 10.0, 1.0, 8.0),
+            dispatch: 0.5,
+        });
+        t.segments.push(Segment::Transfer {
+            bytes: 100.0,
+            dir: TransferDir::HostToDevice,
+            label: TransferDir::HostToDevice.label().into(),
+        });
+        assert_eq!(t.host_seconds(), 2.0);
+        assert_eq!(t.kernel_count(), 1);
+        assert_eq!(t.transfer_bytes(), 100.0);
+    }
+
+    #[test]
+    fn labels_match_the_papers_figure() {
+        assert_eq!(TransferDir::HostToDevice.label(), "accel_data_update_device");
+        assert_eq!(TransferDir::DeviceToHost.label(), "accel_data_update_host");
+    }
+}

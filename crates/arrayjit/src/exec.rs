@@ -1,0 +1,791 @@
+//! Program execution: real numerics on the host, simulated cost on the
+//! selected backend.
+//!
+//! The evaluator interprets the optimised graph node by node over concrete
+//! [`Array`]s (so results are exact and testable), then charges the
+//! [`accel_sim::Context`] according to the backend:
+//!
+//! * [`Backend::Device`] — one launch per compiled stage, with the fused
+//!   profiles from [`crate::compile`]; intermediates come from the memory
+//!   pool and are returned at the end of the call.
+//! * [`Backend::Cpu`] — the XLA-CPU analogue: ops run *unfused*, single
+//!   threaded, with materialised intermediates, at a calibrated efficiency
+//!   (`FrameworkCalib::jit_cpu_backend_eff`). The paper found this backend
+//!   7.4× slower than the parallel C++ baseline (§ 4.2).
+
+use accel_sim as accel;
+
+use crate::array::{Array, DType, Data};
+use crate::compile::Program;
+use crate::ir::{BinaryOp, Node, Op, UnaryOp};
+use crate::shape::{broadcast_index, Shape};
+
+/// Which backend a program call is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The simulated accelerator.
+    Device,
+    /// The deliberately weak CPU backend.
+    Cpu,
+}
+
+/// Execute `program` on `args`, charging `ctx`.
+///
+/// Returns the output arrays. Panics on signature mismatches (the same
+/// errors JAX raises when a cached executable is called with wrong shapes —
+/// the JIT cache in [`crate::jit`] prevents this by re-tracing).
+pub fn run(
+    ctx: &mut accel::Context,
+    backend: Backend,
+    program: &Program,
+    args: &[Array],
+) -> Vec<Array> {
+    assert_eq!(
+        args.len(),
+        program.graph.params.len(),
+        "{}: expected {} arguments, got {}",
+        program.name,
+        program.graph.params.len(),
+        args.len()
+    );
+    for (i, ((shape, dtype), arg)) in program.graph.params.iter().zip(args).enumerate() {
+        assert_eq!(
+            arg.shape(),
+            shape,
+            "{}: argument {i} shape {} does not match compiled signature {shape}",
+            program.name,
+            arg.shape()
+        );
+        assert_eq!(arg.dtype(), *dtype, "{}: argument {i} dtype", program.name);
+    }
+
+    charge(ctx, backend, program);
+    evaluate(program, args)
+}
+
+/// Charge the simulator for one invocation of `program`.
+fn charge(ctx: &mut accel::Context, backend: Backend, program: &Program) {
+    let fw = ctx.calib.framework;
+    match backend {
+        Backend::Device => {
+            // Per-call dispatch: cache lookup + argument hashing/staging.
+            ctx.host_compute(format!("{}/dispatch", program.name), fw.jit_dispatch);
+            // Intermediates live in the pool for the duration of the call,
+            // inflated by the pool-slack factor.
+            let scratch = (program.peak_stage_bytes as f64 * fw.jit_mem_overhead) as u64;
+            let scratch_ok = ctx.device_alloc(scratch, true).is_ok();
+            let mut device_seconds = 0.0;
+            for stage in &program.stages {
+                device_seconds += stage.profile.device_seconds(&ctx.calib.gpu);
+                ctx.launch(stage.profile.clone(), 0.0);
+            }
+            // Runtime-level inefficiency proportional to the work
+            // (paper footnote 10).
+            let runtime_extra = device_seconds * (fw.jit_runtime_factor - 1.0).max(0.0);
+            if runtime_extra > 0.0 {
+                ctx.host_compute(format!("{}/runtime", program.name), runtime_extra);
+            }
+            if scratch_ok {
+                ctx.device_free(scratch);
+            }
+        }
+        Backend::Cpu => {
+            // Unfused, single-core execution with materialised buffers.
+            let cpu = ctx.calib.cpu;
+            let eff = fw.jit_cpu_backend_eff;
+            let mut seconds = fw.jit_dispatch;
+            for node in &program.graph.nodes {
+                let elems = node.shape.elements() as f64;
+                let flops = node.op.flops_per_element() * elems;
+                // Each unfused op reads its operands and writes its result.
+                let mut bytes = (node.shape.elements() * node.dtype.size()) as f64;
+                for o in node.op.operands() {
+                    let n = program.graph.node(o);
+                    bytes += (n.shape.elements() * n.dtype.size()) as f64;
+                }
+                let single_core_bw = cpu.socket_bw * 0.06;
+                seconds += flops / (cpu.core_flops * eff) + bytes / single_core_bw;
+            }
+            ctx.host_compute(format!("{}/cpu_backend", program.name), seconds);
+        }
+    }
+}
+
+/// Interpret the graph over concrete values.
+fn evaluate(program: &Program, args: &[Array]) -> Vec<Array> {
+    let graph = &program.graph;
+    let mut values: Vec<Option<Array>> = vec![None; graph.nodes.len()];
+
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let v = eval_node(node, &values, args);
+        values[id] = Some(v);
+    }
+
+    graph
+        .outputs
+        .iter()
+        .map(|&o| values[o].clone().expect("output evaluated"))
+        .collect()
+}
+
+fn get<'a>(values: &'a [Option<Array>], id: usize) -> &'a Array {
+    values[id].as_ref().expect("operand evaluated before use")
+}
+
+fn eval_node(node: &Node, values: &[Option<Array>], args: &[Array]) -> Array {
+    match &node.op {
+        Op::Param { index } => args[*index].clone().reshaped(node.shape.clone()),
+        Op::ConstF64(v) => Array::scalar_f64(*v),
+        Op::ConstI64(v) => Array::scalar_i64(*v),
+        Op::Iota { len } => Array::from_i64((0..*len as i64).collect()),
+        Op::Unary { op, a } => eval_unary(*op, get(values, *a), &node.shape),
+        Op::Binary { op, a, b } => {
+            eval_binary(*op, get(values, *a), get(values, *b), &node.shape, node.dtype)
+        }
+        Op::Select {
+            cond,
+            on_true,
+            on_false,
+        } => eval_select(
+            get(values, *cond),
+            get(values, *on_true),
+            get(values, *on_false),
+            &node.shape,
+        ),
+        Op::Convert { a, to } => eval_convert(get(values, *a), *to, &node.shape),
+        Op::Reshape { a } => get(values, *a).clone().reshaped(node.shape.clone()),
+        Op::BroadcastTo { a } => eval_broadcast(get(values, *a), &node.shape),
+        Op::SliceAxis {
+            a,
+            axis,
+            start,
+            len,
+        } => eval_slice(get(values, *a), *axis, *start, *len, &node.shape),
+        Op::Gather { src, idx } => eval_gather(get(values, *src), get(values, *idx), &node.shape),
+        Op::ScatterAdd { size, idx, val } => {
+            eval_scatter_add(*size, get(values, *idx), get(values, *val))
+        }
+        Op::ReduceSum { a, axis } => eval_reduce_sum(get(values, *a), *axis, &node.shape),
+        Op::StackLast { parts } => {
+            let arrays: Vec<&Array> = parts.iter().map(|&p| get(values, p)).collect();
+            eval_stack_last(&arrays, &node.shape)
+        }
+    }
+}
+
+fn eval_stack_last(parts: &[&Array], shape: &Shape) -> Array {
+    let k = parts.len();
+    let n = parts[0].elements();
+    match parts[0].data() {
+        Data::F64(_) => {
+            let mut out = vec![0.0f64; n * k];
+            for (j, p) in parts.iter().enumerate() {
+                for (i, &v) in p.as_f64().iter().enumerate() {
+                    out[i * k + j] = v;
+                }
+            }
+            Array::new(shape.clone(), Data::F64(out))
+        }
+        Data::I64(_) => {
+            let mut out = vec![0i64; n * k];
+            for (j, p) in parts.iter().enumerate() {
+                for (i, &v) in p.as_i64().iter().enumerate() {
+                    out[i * k + j] = v;
+                }
+            }
+            Array::new(shape.clone(), Data::I64(out))
+        }
+        Data::Bool(_) => {
+            let mut out = vec![false; n * k];
+            for (j, p) in parts.iter().enumerate() {
+                for (i, &v) in p.as_bool().iter().enumerate() {
+                    out[i * k + j] = v;
+                }
+            }
+            Array::new(shape.clone(), Data::Bool(out))
+        }
+    }
+}
+
+fn eval_unary(op: UnaryOp, a: &Array, shape: &Shape) -> Array {
+    if op == UnaryOp::Not {
+        let out: Vec<bool> = a.as_bool().iter().map(|&x| !x).collect();
+        return Array::new(shape.clone(), Data::Bool(out));
+    }
+    let f = |x: f64| -> f64 {
+        match op {
+            UnaryOp::Neg => -x,
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Log => x.ln(),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Sin => x.sin(),
+            UnaryOp::Cos => x.cos(),
+            UnaryOp::Floor => x.floor(),
+            UnaryOp::Not => unreachable!(),
+        }
+    };
+    let out: Vec<f64> = a.as_f64().iter().map(|&x| f(x)).collect();
+    Array::new(shape.clone(), Data::F64(out))
+}
+
+/// Fast index maps for the common operand layouts: same shape as the
+/// output (identity), scalar, a single contiguous broadcast block
+/// (`(i / div) % modulo` — covers row vectors, column vectors and
+/// middle-axis masks), or the general rank-walking fallback.
+enum IndexMap<'a> {
+    Identity,
+    Scalar,
+    Strided { div: usize, modulo: usize },
+    Broadcast(&'a Shape, &'a Shape),
+}
+
+impl IndexMap<'_> {
+    #[inline(always)]
+    fn get(&self, i: usize) -> usize {
+        match self {
+            IndexMap::Identity => i,
+            IndexMap::Scalar => 0,
+            IndexMap::Strided { div, modulo } => (i / div) % modulo,
+            IndexMap::Broadcast(out, src) => broadcast_index(i, out, src),
+        }
+    }
+}
+
+fn index_map<'a>(out: &'a Shape, src: &'a Shape) -> IndexMap<'a> {
+    if src == out {
+        return IndexMap::Identity;
+    }
+    if src.elements() == 1 {
+        return IndexMap::Scalar;
+    }
+    // Pad the source shape with leading 1s; if its non-1 axes form one
+    // contiguous block whose dims match the output, the mapping is
+    // `(i / product_of_axes_after_block) % block_elements`.
+    let rank = out.rank();
+    let pad = rank - src.rank();
+    let dim = |j: usize| if j < pad { 1 } else { src.0[j - pad] };
+    let first = (0..rank).find(|&j| dim(j) != 1);
+    let last = (0..rank).rev().find(|&j| dim(j) != 1);
+    if let (Some(first), Some(last)) = (first, last) {
+        // Every axis inside the block must exactly match the output (a 1
+        // inside the block would need the general walker).
+        let exact = (first..=last).all(|j| dim(j) == out.0[j]);
+        if exact {
+            let div: usize = (last + 1..rank).map(|j| out.0[j]).product();
+            let modulo: usize = (first..=last).map(|j| out.0[j]).product();
+            return IndexMap::Strided { div, modulo };
+        }
+    }
+    IndexMap::Broadcast(out, src)
+}
+
+fn eval_binary(op: BinaryOp, a: &Array, b: &Array, shape: &Shape, dtype: DType) -> Array {
+    let n = shape.elements();
+    let a_map = index_map(shape, a.shape());
+    let b_map = index_map(shape, b.shape());
+    let ai = |i: usize| a_map.get(i);
+    let bi = |i: usize| b_map.get(i);
+
+    if op.is_comparison() {
+        let out: Vec<bool> = match (a.data(), b.data()) {
+            (Data::F64(av), Data::F64(bv)) => (0..n)
+                .map(|i| cmp_f64(op, av[ai(i)], bv[bi(i)]))
+                .collect(),
+            (Data::I64(av), Data::I64(bv)) => (0..n)
+                .map(|i| cmp_i64(op, av[ai(i)], bv[bi(i)]))
+                .collect(),
+            _ => panic!("comparison on unsupported dtype pair"),
+        };
+        return Array::new(shape.clone(), Data::Bool(out));
+    }
+    if matches!(op, BinaryOp::And | BinaryOp::Or) {
+        let (av, bv) = (a.as_bool(), b.as_bool());
+        let out: Vec<bool> = (0..n)
+            .map(|i| match op {
+                BinaryOp::And => av[ai(i)] && bv[bi(i)],
+                BinaryOp::Or => av[ai(i)] || bv[bi(i)],
+                _ => unreachable!(),
+            })
+            .collect();
+        return Array::new(shape.clone(), Data::Bool(out));
+    }
+
+    match dtype {
+        DType::F64 => {
+            let (av, bv) = (a.as_f64(), b.as_f64());
+            // Specialised loops for the hot layouts: the generic per-element
+            // enum dispatch costs ~10x on the interpreter's critical path.
+            let out: Vec<f64> = match (&a_map, &b_map) {
+                (IndexMap::Identity, IndexMap::Identity) => match op {
+                    BinaryOp::Add => av.iter().zip(bv).map(|(x, y)| x + y).collect(),
+                    BinaryOp::Sub => av.iter().zip(bv).map(|(x, y)| x - y).collect(),
+                    BinaryOp::Mul => av.iter().zip(bv).map(|(x, y)| x * y).collect(),
+                    BinaryOp::Div => av.iter().zip(bv).map(|(x, y)| x / y).collect(),
+                    BinaryOp::Atan2 => av.iter().zip(bv).map(|(x, y)| x.atan2(*y)).collect(),
+                    _ => (0..n).map(|i| arith_f64(op, av[i], bv[i])).collect(),
+                },
+                (IndexMap::Identity, IndexMap::Scalar) => {
+                    let y = bv[0];
+                    match op {
+                        BinaryOp::Add => av.iter().map(|x| x + y).collect(),
+                        BinaryOp::Sub => av.iter().map(|x| x - y).collect(),
+                        BinaryOp::Mul => av.iter().map(|x| x * y).collect(),
+                        BinaryOp::Div => av.iter().map(|x| x / y).collect(),
+                        _ => av.iter().map(|&x| arith_f64(op, x, y)).collect(),
+                    }
+                }
+                (IndexMap::Scalar, IndexMap::Identity) => {
+                    let x = av[0];
+                    match op {
+                        BinaryOp::Add => bv.iter().map(|y| x + y).collect(),
+                        BinaryOp::Sub => bv.iter().map(|y| x - y).collect(),
+                        BinaryOp::Mul => bv.iter().map(|y| x * y).collect(),
+                        BinaryOp::Div => bv.iter().map(|y| x / y).collect(),
+                        _ => bv.iter().map(|&y| arith_f64(op, x, y)).collect(),
+                    }
+                }
+                _ => (0..n).map(|i| arith_f64(op, av[ai(i)], bv[bi(i)])).collect(),
+            };
+            Array::new(shape.clone(), Data::F64(out))
+        }
+        DType::I64 => {
+            let (av, bv) = (a.as_i64(), b.as_i64());
+            let out: Vec<i64> = (0..n)
+                .map(|i| arith_i64(op, av[ai(i)], bv[bi(i)]))
+                .collect();
+            Array::new(shape.clone(), Data::I64(out))
+        }
+        DType::Bool => panic!("arithmetic on Bool"),
+    }
+}
+
+fn arith_f64(op: BinaryOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinaryOp::Add => x + y,
+        BinaryOp::Sub => x - y,
+        BinaryOp::Mul => x * y,
+        BinaryOp::Div => x / y,
+        BinaryOp::Rem => x.rem_euclid(y),
+        BinaryOp::Min => x.min(y),
+        BinaryOp::Max => x.max(y),
+        BinaryOp::Atan2 => x.atan2(y),
+        BinaryOp::Pow => x.powf(y),
+        _ => unreachable!(),
+    }
+}
+
+fn arith_i64(op: BinaryOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinaryOp::Add => x.wrapping_add(y),
+        BinaryOp::Sub => x.wrapping_sub(y),
+        BinaryOp::Mul => x.wrapping_mul(y),
+        BinaryOp::Div => x.div_euclid(y),
+        BinaryOp::Rem => x.rem_euclid(y),
+        BinaryOp::Min => x.min(y),
+        BinaryOp::Max => x.max(y),
+        BinaryOp::Pow => x.pow(y as u32),
+        BinaryOp::Atan2 => panic!("atan2 on I64"),
+        _ => unreachable!(),
+    }
+}
+
+fn cmp_f64(op: BinaryOp, x: f64, y: f64) -> bool {
+    match op {
+        BinaryOp::Lt => x < y,
+        BinaryOp::Le => x <= y,
+        BinaryOp::Gt => x > y,
+        BinaryOp::Ge => x >= y,
+        BinaryOp::Eq => x == y,
+        _ => unreachable!(),
+    }
+}
+
+fn cmp_i64(op: BinaryOp, x: i64, y: i64) -> bool {
+    match op {
+        BinaryOp::Lt => x < y,
+        BinaryOp::Le => x <= y,
+        BinaryOp::Gt => x > y,
+        BinaryOp::Ge => x >= y,
+        BinaryOp::Eq => x == y,
+        _ => unreachable!(),
+    }
+}
+
+fn eval_select(cond: &Array, t: &Array, f: &Array, shape: &Shape) -> Array {
+    let n = shape.elements();
+    let cv = cond.as_bool();
+    let c_map = index_map(shape, cond.shape());
+    let t_map = index_map(shape, t.shape());
+    let f_map = index_map(shape, f.shape());
+    let ci = |i: usize| c_map.get(i);
+    let ti = |i: usize| t_map.get(i);
+    let fi = |i: usize| f_map.get(i);
+    match (t.data(), f.data()) {
+        (Data::F64(tv), Data::F64(fv)) => {
+            // Fast path: everything already output-shaped.
+            let out: Vec<f64> = if matches!(
+                (&c_map, &t_map, &f_map),
+                (IndexMap::Identity, IndexMap::Identity, IndexMap::Identity)
+            ) {
+                (0..n).map(|i| if cv[i] { tv[i] } else { fv[i] }).collect()
+            } else {
+                (0..n)
+                    .map(|i| if cv[ci(i)] { tv[ti(i)] } else { fv[fi(i)] })
+                    .collect()
+            };
+            Array::new(shape.clone(), Data::F64(out))
+        }
+        (Data::I64(tv), Data::I64(fv)) => {
+            let out: Vec<i64> = (0..n)
+                .map(|i| if cv[ci(i)] { tv[ti(i)] } else { fv[fi(i)] })
+                .collect();
+            Array::new(shape.clone(), Data::I64(out))
+        }
+        (Data::Bool(tv), Data::Bool(fv)) => {
+            let out: Vec<bool> = (0..n)
+                .map(|i| if cv[ci(i)] { tv[ti(i)] } else { fv[fi(i)] })
+                .collect();
+            Array::new(shape.clone(), Data::Bool(out))
+        }
+        _ => panic!("select branch dtype mismatch"),
+    }
+}
+
+fn eval_convert(a: &Array, to: DType, shape: &Shape) -> Array {
+    let data = match (a.data(), to) {
+        (Data::F64(v), DType::I64) => Data::I64(v.iter().map(|&x| x as i64).collect()),
+        (Data::I64(v), DType::F64) => Data::F64(v.iter().map(|&x| x as f64).collect()),
+        (Data::Bool(v), DType::F64) => {
+            Data::F64(v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect())
+        }
+        (Data::Bool(v), DType::I64) => Data::I64(v.iter().map(|&x| x as i64).collect()),
+        (d, t) if d.dtype() == t => d.clone(),
+        (d, t) => panic!("unsupported convert {:?} -> {t:?}", d.dtype()),
+    };
+    Array::new(shape.clone(), data)
+}
+
+fn eval_broadcast(a: &Array, shape: &Shape) -> Array {
+    let n = shape.elements();
+    match a.data() {
+        Data::F64(v) => {
+            let out: Vec<f64> = (0..n)
+                .map(|i| v[broadcast_index(i, shape, a.shape())])
+                .collect();
+            Array::new(shape.clone(), Data::F64(out))
+        }
+        Data::I64(v) => {
+            let out: Vec<i64> = (0..n)
+                .map(|i| v[broadcast_index(i, shape, a.shape())])
+                .collect();
+            Array::new(shape.clone(), Data::I64(out))
+        }
+        Data::Bool(v) => {
+            let out: Vec<bool> = (0..n)
+                .map(|i| v[broadcast_index(i, shape, a.shape())])
+                .collect();
+            Array::new(shape.clone(), Data::Bool(out))
+        }
+    }
+}
+
+fn eval_slice(a: &Array, axis: usize, start: usize, len: usize, shape: &Shape) -> Array {
+    let in_shape = a.shape();
+    let outer: usize = in_shape.0[..axis].iter().product();
+    let inner: usize = in_shape.0[axis + 1..].iter().product();
+    let dim = in_shape.0[axis];
+
+    fn slice_vec<T: Copy>(
+        v: &[T],
+        outer: usize,
+        dim: usize,
+        inner: usize,
+        start: usize,
+        len: usize,
+    ) -> Vec<T> {
+        let mut out = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            for d in start..start + len {
+                let base = (o * dim + d) * inner;
+                out.extend_from_slice(&v[base..base + inner]);
+            }
+        }
+        out
+    }
+
+    let data = match a.data() {
+        Data::F64(v) => Data::F64(slice_vec(v, outer, dim, inner, start, len)),
+        Data::I64(v) => Data::I64(slice_vec(v, outer, dim, inner, start, len)),
+        Data::Bool(v) => Data::Bool(slice_vec(v, outer, dim, inner, start, len)),
+    };
+    Array::new(shape.clone(), data)
+}
+
+fn eval_gather(src: &Array, idx: &Array, shape: &Shape) -> Array {
+    let indices = idx.as_i64();
+    let pick = |i: i64, len: usize| -> usize {
+        assert!(
+            i >= 0 && (i as usize) < len,
+            "gather index {i} out of bounds for source of {len}"
+        );
+        i as usize
+    };
+    let data = match src.data() {
+        Data::F64(v) => Data::F64(indices.iter().map(|&i| v[pick(i, v.len())]).collect()),
+        Data::I64(v) => Data::I64(indices.iter().map(|&i| v[pick(i, v.len())]).collect()),
+        Data::Bool(v) => Data::Bool(indices.iter().map(|&i| v[pick(i, v.len())]).collect()),
+    };
+    Array::new(shape.clone(), data)
+}
+
+fn eval_scatter_add(size: usize, idx: &Array, val: &Array) -> Array {
+    let indices = idx.as_i64();
+    match val.data() {
+        Data::F64(v) => {
+            let mut out = vec![0.0f64; size];
+            for (&i, &x) in indices.iter().zip(v) {
+                assert!(
+                    i >= 0 && (i as usize) < size,
+                    "scatter index {i} out of bounds for {size}"
+                );
+                out[i as usize] += x;
+            }
+            Array::new(vec![size], Data::F64(out))
+        }
+        Data::I64(v) => {
+            let mut out = vec![0i64; size];
+            for (&i, &x) in indices.iter().zip(v) {
+                assert!(i >= 0 && (i as usize) < size);
+                out[i as usize] += x;
+            }
+            Array::new(vec![size], Data::I64(out))
+        }
+        Data::Bool(_) => panic!("scatter_add on Bool"),
+    }
+}
+
+fn eval_reduce_sum(a: &Array, axis: usize, shape: &Shape) -> Array {
+    let in_shape = a.shape();
+    let outer: usize = in_shape.0[..axis].iter().product();
+    let dim = in_shape.0[axis];
+    let inner: usize = in_shape.0[axis + 1..].iter().product();
+
+    match a.data() {
+        Data::F64(v) => {
+            let mut out = vec![0.0f64; outer * inner];
+            for o in 0..outer {
+                for d in 0..dim {
+                    let base = (o * dim + d) * inner;
+                    for i in 0..inner {
+                        out[o * inner + i] += v[base + i];
+                    }
+                }
+            }
+            Array::new(shape.clone(), Data::F64(out))
+        }
+        Data::I64(v) => {
+            let mut out = vec![0i64; outer * inner];
+            for o in 0..outer {
+                for d in 0..dim {
+                    let base = (o * dim + d) * inner;
+                    for i in 0..inner {
+                        out[o * inner + i] += v[base + i];
+                    }
+                }
+            }
+            Array::new(shape.clone(), Data::I64(out))
+        }
+        Data::Bool(_) => panic!("reduce_sum on Bool"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::trace::TraceContext;
+    use accel_sim::NodeCalib;
+
+    fn ctx() -> accel::Context {
+        accel::Context::new(NodeCalib::default())
+    }
+
+    fn run_one(
+        build: impl Fn(&TraceContext) -> crate::trace::Tracer,
+        args: &[Array],
+    ) -> Array {
+        let tc = TraceContext::new();
+        let out = build(&tc);
+        let g = tc.finish(&[&out]);
+        let p = compile("test", &g);
+        let mut c = ctx();
+        run(&mut c, Backend::Device, &p, args).remove(0)
+    }
+
+    #[test]
+    fn arithmetic_and_broadcast() {
+        let out = run_one(
+            |tc| {
+                let m = tc.param(vec![2, 3], DType::F64);
+                let v = tc.param(vec![3], DType::F64);
+                (&m + &v).mul_s(2.0)
+            },
+            &[
+                Array::from_f64_shaped(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]),
+                Array::from_f64(vec![10., 20., 30.]),
+            ],
+        );
+        assert_eq!(out.as_f64(), &[22., 44., 66., 28., 50., 72.]);
+    }
+
+    #[test]
+    fn select_and_compare() {
+        let out = run_one(
+            |tc| {
+                let x = tc.param(vec![4], DType::F64);
+                x.gt(&tc.constant(0.0)).select(&x, &x.neg())
+            },
+            &[Array::from_f64(vec![-1., 2., -3., 4.])],
+        );
+        assert_eq!(out.as_f64(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        // scatter then gather reproduces a permuted vector.
+        let out = run_one(
+            |tc| {
+                let vals = tc.param(vec![4], DType::F64);
+                let idx = tc.param(vec![4], DType::I64);
+                let scattered = vals.scatter_add(&idx, 4);
+                scattered.gather(&idx)
+            },
+            &[
+                Array::from_f64(vec![10., 20., 30., 40.]),
+                Array::from_i64(vec![3, 1, 0, 2]),
+            ],
+        );
+        assert_eq!(out.as_f64(), &[10., 20., 30., 40.]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_duplicates() {
+        let out = run_one(
+            |tc| {
+                let vals = tc.param(vec![4], DType::F64);
+                let idx = tc.param(vec![4], DType::I64);
+                vals.scatter_add(&idx, 3)
+            },
+            &[
+                Array::from_f64(vec![1., 2., 3., 4.]),
+                Array::from_i64(vec![0, 0, 2, 2]),
+            ],
+        );
+        assert_eq!(out.as_f64(), &[3., 0., 7.]);
+    }
+
+    #[test]
+    fn reduce_sum_axes() {
+        let m = Array::from_f64_shaped(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let rows = run_one(
+            |tc| tc.param(vec![2, 3], DType::F64).reduce_sum(1),
+            &[m.clone()],
+        );
+        assert_eq!(rows.as_f64(), &[6., 15.]);
+        let cols = run_one(|tc| tc.param(vec![2, 3], DType::F64).reduce_sum(0), &[m]);
+        assert_eq!(cols.as_f64(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn slice_and_index_axis() {
+        let m = Array::from_f64_shaped(vec![2, 4], (0..8).map(|i| i as f64).collect());
+        let col = run_one(|tc| tc.param(vec![2, 4], DType::F64).index_axis(1, 2), &[m]);
+        assert_eq!(col.as_f64(), &[2., 6.]);
+    }
+
+    #[test]
+    fn convert_and_floor() {
+        let out = run_one(
+            |tc| {
+                let x = tc.param(vec![3], DType::F64);
+                x.floor().convert(DType::I64)
+            },
+            &[Array::from_f64(vec![1.9, -0.5, 3.0])],
+        );
+        assert_eq!(out.as_i64(), &[1, -1, 3]);
+    }
+
+    #[test]
+    fn i64_euclid_rem() {
+        let out = run_one(
+            |tc| {
+                let x = tc.param(vec![3], DType::I64);
+                x.rem(&tc.constant_i64(4))
+            },
+            &[Array::from_i64(vec![-1, 9, -8])],
+        );
+        assert_eq!(out.as_i64(), &[3, 1, 0]);
+    }
+
+    #[test]
+    fn device_backend_charges_stages() {
+        let tc = TraceContext::new();
+        let x = tc.param(vec![1000], DType::F64);
+        let y = x.sin().mul_s(2.0);
+        let g = tc.finish(&[&y]);
+        let p = compile("charged", &g);
+        let mut c = ctx();
+        run(&mut c, Backend::Device, &p, &[Array::zeros(vec![1000])]);
+        assert!(c.stats().keys().any(|k| k.starts_with("charged/fused")));
+        assert!(c.stats().contains_key("charged/dispatch"));
+        assert_eq!(c.trace().kernel_count(), p.stages.len());
+    }
+
+    #[test]
+    fn cpu_backend_is_much_slower_than_device() {
+        let tc = TraceContext::new();
+        let x = tc.param(vec![1_000_000], DType::F64);
+        let y = x.sin().cos().sqrt().mul_s(2.0);
+        let g = tc.finish(&[&y]);
+        let p = compile("slow", &g);
+
+        let mut dev = ctx();
+        run(&mut dev, Backend::Device, &p, &[Array::zeros(vec![1_000_000])]);
+        let mut cpu = ctx();
+        run(&mut cpu, Backend::Cpu, &p, &[Array::zeros(vec![1_000_000])]);
+        assert!(
+            cpu.total_seconds() > 5.0 * dev.total_seconds(),
+            "cpu {} dev {}",
+            cpu.total_seconds(),
+            dev.total_seconds()
+        );
+        // The CPU backend launches nothing on the device.
+        assert_eq!(cpu.trace().kernel_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match compiled signature")]
+    fn wrong_shape_is_rejected() {
+        let tc = TraceContext::new();
+        let x = tc.param(vec![4], DType::F64);
+        let y = x.mul_s(1.0);
+        let g = tc.finish(&[&y]);
+        let p = compile("sig", &g);
+        let mut c = ctx();
+        run(&mut c, Backend::Device, &p, &[Array::zeros(vec![5])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_bounds_checked() {
+        run_one(
+            |tc| {
+                let t = tc.param(vec![3], DType::F64);
+                let i = tc.param(vec![1], DType::I64);
+                t.gather(&i)
+            },
+            &[Array::from_f64(vec![1., 2., 3.]), Array::from_i64(vec![7])],
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! The HLO-like intermediate representation.
+//!
+//! A traced function becomes a [`Graph`]: an SSA list of [`Node`]s in
+//! topological order, each with a statically known shape and dtype
+//! (mirroring XLA's HLO, whose full shape knowledge the paper highlights).
+//! The compiler in [`crate::compile`] rewrites and partitions this graph.
+
+use crate::array::DType;
+use crate::shape::Shape;
+
+/// Index of a node within its graph.
+pub type NodeId = usize;
+
+/// Elementwise unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Neg,
+    Abs,
+    Exp,
+    Log,
+    Sqrt,
+    Sin,
+    Cos,
+    Floor,
+    Not,
+}
+
+impl UnaryOp {
+    /// Approximate FP64 operation cost (special-function units are slower
+    /// than the FMA pipe).
+    pub fn flops(self) -> f64 {
+        match self {
+            UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Floor | UnaryOp::Not => 1.0,
+            UnaryOp::Sqrt => 4.0,
+            UnaryOp::Exp | UnaryOp::Log | UnaryOp::Sin | UnaryOp::Cos => 10.0,
+        }
+    }
+}
+
+/// Elementwise binary operations (with broadcasting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Atan2,
+    Pow,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    /// Whether the result dtype is Bool regardless of operand dtype.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq
+        )
+    }
+
+    /// Approximate FP64 operation cost.
+    pub fn flops(self) -> f64 {
+        match self {
+            BinaryOp::Div | BinaryOp::Rem => 4.0,
+            BinaryOp::Atan2 => 20.0,
+            BinaryOp::Pow => 15.0,
+            _ => 1.0,
+        }
+    }
+}
+
+/// One IR operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// The `index`-th function argument.
+    Param { index: usize },
+    /// A scalar f64 constant.
+    ConstF64(f64),
+    /// A scalar i64 constant.
+    ConstI64(i64),
+    /// `[0, 1, ..., len-1]` as i64.
+    Iota { len: usize },
+    /// Elementwise unary.
+    Unary { op: UnaryOp, a: NodeId },
+    /// Elementwise binary with broadcasting.
+    Binary { op: BinaryOp, a: NodeId, b: NodeId },
+    /// Elementwise `cond ? on_true : on_false` — JAX's branch-free
+    /// conditional: *both* sides are computed (the "dummy work" the paper
+    /// notes for padded lanes and branches).
+    Select {
+        cond: NodeId,
+        on_true: NodeId,
+        on_false: NodeId,
+    },
+    /// Dtype conversion.
+    Convert { a: NodeId, to: DType },
+    /// Same data, new shape.
+    Reshape { a: NodeId },
+    /// Materialised broadcast to the node's shape.
+    BroadcastTo { a: NodeId },
+    /// Contiguous slice along one axis.
+    SliceAxis {
+        a: NodeId,
+        axis: usize,
+        start: usize,
+        len: usize,
+    },
+    /// `out[i] = src[idx[i]]` over a flattened 1-D `src`.
+    Gather { src: NodeId, idx: NodeId },
+    /// `out[idx[i]] += val[i]` into a fresh zeroed 1-D buffer of `size`
+    /// (device execution uses atomics).
+    ScatterAdd {
+        size: usize,
+        idx: NodeId,
+        val: NodeId,
+    },
+    /// Sum-reduction over one axis.
+    ReduceSum { a: NodeId, axis: usize },
+    /// Stack identically shaped parts along a new trailing axis
+    /// (`jnp.stack(..., axis=-1)`): shape `[.., k]` from `k` parts `[..]`.
+    StackLast { parts: Vec<NodeId> },
+}
+
+impl Op {
+    /// Operand node ids.
+    pub fn operands(&self) -> Vec<NodeId> {
+        match self {
+            Op::Param { .. } | Op::ConstF64(_) | Op::ConstI64(_) | Op::Iota { .. } => vec![],
+            Op::Unary { a, .. }
+            | Op::Convert { a, .. }
+            | Op::Reshape { a }
+            | Op::BroadcastTo { a }
+            | Op::SliceAxis { a, .. }
+            | Op::ReduceSum { a, .. } => vec![*a],
+            Op::Binary { a, b, .. } => vec![*a, *b],
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            } => vec![*cond, *on_true, *on_false],
+            Op::Gather { src, idx } => vec![*src, *idx],
+            Op::ScatterAdd { idx, val, .. } => vec![*idx, *val],
+            Op::StackLast { parts } => parts.clone(),
+        }
+    }
+
+    /// Whether this op can join an elementwise fusion group.
+    pub fn is_fusible(&self) -> bool {
+        matches!(
+            self,
+            Op::ConstF64(_)
+                | Op::ConstI64(_)
+                | Op::Iota { .. }
+                | Op::Unary { .. }
+                | Op::Binary { .. }
+                | Op::Select { .. }
+                | Op::Convert { .. }
+                | Op::Reshape { .. }
+                | Op::BroadcastTo { .. }
+                | Op::SliceAxis { .. }
+                | Op::StackLast { .. }
+        )
+    }
+
+    /// Per-output-element flop cost of this op (0 for data movement).
+    pub fn flops_per_element(&self) -> f64 {
+        match self {
+            Op::Unary { op, .. } => op.flops(),
+            Op::Binary { op, .. } => op.flops(),
+            Op::Select { .. } => 1.0,
+            Op::Convert { .. } => 1.0,
+            Op::ReduceSum { .. } => 1.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// One SSA value: an operation plus its inferred result type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    pub op: Op,
+    pub shape: Shape,
+    pub dtype: DType,
+}
+
+/// A traced function body.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    /// Nodes in topological (construction) order.
+    pub nodes: Vec<Node>,
+    /// Ids of the function results.
+    pub outputs: Vec<NodeId>,
+    /// Shape/dtype of each parameter, in order.
+    pub params: Vec<(Shape, DType)>,
+}
+
+impl Graph {
+    /// Append a node, returning its id. Operands must already exist
+    /// (construction order is topological by induction).
+    pub fn push(&mut self, node: Node) -> NodeId {
+        for &o in &node.op.operands() {
+            assert!(o < self.nodes.len(), "operand {o} not yet defined");
+        }
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// The node with id `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of uses of each node (outputs count as a use).
+    pub fn use_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            for o in node.op.operands() {
+                counts[o] += 1;
+            }
+        }
+        for &o in &self.outputs {
+            counts[o] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64_node(op: Op, shape: Vec<usize>) -> Node {
+        Node {
+            op,
+            shape: Shape(shape),
+            dtype: DType::F64,
+        }
+    }
+
+    #[test]
+    fn graph_construction_is_topological() {
+        let mut g = Graph::default();
+        let a = g.push(f64_node(Op::Param { index: 0 }, vec![4]));
+        let b = g.push(f64_node(Op::Param { index: 1 }, vec![4]));
+        let c = g.push(f64_node(Op::Binary { op: BinaryOp::Add, a, b }, vec![4]));
+        g.outputs.push(c);
+        assert_eq!(g.nodes.len(), 3);
+        assert_eq!(g.node(c).op.operands(), vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_reference_panics() {
+        let mut g = Graph::default();
+        g.push(f64_node(
+            Op::Unary {
+                op: UnaryOp::Neg,
+                a: 5,
+            },
+            vec![1],
+        ));
+    }
+
+    #[test]
+    fn use_counts_include_outputs() {
+        let mut g = Graph::default();
+        let a = g.push(f64_node(Op::Param { index: 0 }, vec![4]));
+        let n = g.push(f64_node(
+            Op::Unary {
+                op: UnaryOp::Neg,
+                a,
+            },
+            vec![4],
+        ));
+        let m = g.push(f64_node(
+            Op::Binary {
+                op: BinaryOp::Mul,
+                a: n,
+                b: n,
+            },
+            vec![4],
+        ));
+        g.outputs.push(m);
+        g.outputs.push(n);
+        let counts = g.use_counts();
+        assert_eq!(counts[a], 1);
+        assert_eq!(counts[n], 3); // two operand uses + one output use
+        assert_eq!(counts[m], 1);
+    }
+
+    #[test]
+    fn comparison_ops_are_flagged() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn fusibility_classification() {
+        assert!(Op::ConstF64(1.0).is_fusible());
+        assert!(Op::Binary {
+            op: BinaryOp::Add,
+            a: 0,
+            b: 0
+        }
+        .is_fusible());
+        assert!(!Op::Gather { src: 0, idx: 0 }.is_fusible());
+        assert!(!Op::ScatterAdd {
+            size: 1,
+            idx: 0,
+            val: 0
+        }
+        .is_fusible());
+        assert!(!Op::ReduceSum { a: 0, axis: 0 }.is_fusible());
+        assert!(!Op::Param { index: 0 }.is_fusible());
+    }
+
+    #[test]
+    fn special_functions_cost_more() {
+        assert!(UnaryOp::Sin.flops() > UnaryOp::Neg.flops());
+        assert!(BinaryOp::Atan2.flops() > BinaryOp::Mul.flops());
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the ten kernels' host execution cost across the
+//! three implementation styles (real wall time of our code, complementary
+//! to the simulator's virtual-time figures).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use toast_core::dispatch::{ImplKind, KernelId};
+use toast_core::kernels::{run_kernel, ExecCtx};
+use toast_core::testutil::test_workspace;
+use toast_core::workspace::BufferId;
+
+fn ctx() -> accel_sim::Context {
+    accel_sim::Context::new(accel_sim::NodeCalib::default())
+}
+
+fn bench_impl(c: &mut Criterion, kernel: KernelId, kind: ImplKind, label: &str) {
+    let ws = test_workspace(8, 512, 16);
+    let samples = (ws.obs.n_det * ws.obs.n_samples) as u64;
+    let mut group = c.benchmark_group(kernel.name());
+    group.throughput(Throughput::Elements(samples));
+    group.bench_function(label, |b| {
+        let mut exec = ExecCtx::new(kind, 4);
+        let mut ws = ws.clone();
+        let mut context = ctx();
+        // Device impls need resident data; do it once (the ensure is
+        // idempotent so re-running inside the loop is cheap).
+        b.iter(|| {
+            for id in BufferId::ALL {
+                if kind.uses_device() {
+                    exec.store.ensure_device(&mut context, &ws, id).unwrap();
+                }
+            }
+            run_kernel(&mut context, &mut exec, &mut ws, kernel);
+        });
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // One representative compute-heavy, one gather, one scatter kernel in
+    // all three styles; the remaining kernels in the CPU style (the full
+    // per-kernel matrix lives in the figure binaries).
+    for kind in [ImplKind::Cpu, ImplKind::OmpTarget, ImplKind::Jit] {
+        let label = match kind {
+            ImplKind::Cpu => "cpu",
+            ImplKind::OmpTarget => "omp",
+            ImplKind::Jit => "jit",
+            ImplKind::JitCpu => unreachable!(),
+        };
+        bench_impl(c, KernelId::StokesWeightsIqu, kind, label);
+        bench_impl(c, KernelId::ScanMap, kind, label);
+        bench_impl(c, KernelId::BuildNoiseWeighted, kind, label);
+        bench_impl(c, KernelId::PixelsHealpix, kind, label);
+    }
+    for kernel in [
+        KernelId::PointingDetector,
+        KernelId::NoiseWeight,
+        KernelId::TemplateOffsetAddToSignal,
+        KernelId::TemplateOffsetProjectSignal,
+        KernelId::TemplateOffsetApplyDiagPrecond,
+        KernelId::StokesWeightsI,
+    ] {
+        bench_impl(c, kernel, ImplKind::Cpu, "cpu");
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_kernels
+);
+
+/// Short measurement windows: the benches cover many targets on a
+/// single-core CI-like box; Criterion's defaults would take tens of
+/// minutes for no extra insight at this granularity.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_main!(benches);

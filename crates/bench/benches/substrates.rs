@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks of the substrate crates: counter RNG,
+//! HEALPix pixelisation, FFT, quaternion math. These measure *real host
+//! throughput* of our implementations (not simulated device time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use toast_fft::{fft, Complex};
+use toast_healpix::{ring, Nside};
+use toast_rng::CounterRng;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    let n = 4096usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("threefry_words", |b| {
+        let rng = CounterRng::new(1, 2);
+        let mut out = vec![0u64; n];
+        b.iter(|| {
+            rng.fill_words(0, &mut out);
+            black_box(&out);
+        });
+    });
+    g.bench_function("gaussians", |b| {
+        let rng = CounterRng::new(3, 4);
+        let mut out = vec![0.0f64; n];
+        b.iter(|| {
+            rng.fill_gaussian(0, &mut out);
+            black_box(&out);
+        });
+    });
+    g.finish();
+}
+
+fn bench_healpix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("healpix");
+    let nside = Nside::new(512).unwrap();
+    let points: Vec<(f64, f64)> = (0..4096)
+        .map(|i| {
+            let t = 0.01 + 3.12 * ((i * 37 % 4096) as f64 / 4096.0);
+            let p = 6.28 * (i as f64 / 4096.0);
+            (t, p)
+        })
+        .collect();
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("ang2pix_ring", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(t, p) in &points {
+                acc = acc.wrapping_add(ring::ang2pix_ring(nside, t, p));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("ang2pix_nest", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(t, p) in &points {
+                acc = acc.wrapping_add(toast_healpix::nest::ang2pix_nest(nside, t, p));
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &n in &[1024usize, 8192] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("fft_{n}"), |b| {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i % 17) as f64, (i % 5) as f64))
+                .collect();
+            b.iter(|| {
+                let mut d = data.clone();
+                fft(&mut d);
+                black_box(&d);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_quat(c: &mut Criterion) {
+    use toast_core::quat;
+    let mut g = c.benchmark_group("quat");
+    let n = 4096;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("mul_rotate_z", |b| {
+        let qs: Vec<[f64; 4]> = (0..n)
+            .map(|i| quat::from_axis_angle([0.0, 1.0, 0.0], i as f64 * 1e-3))
+            .collect();
+        let off = quat::from_axis_angle([1.0, 0.0, 0.0], 0.01);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &q in &qs {
+                let d = quat::rotate_z(quat::mul(q, off));
+                acc += d[2];
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_rng, bench_healpix, bench_fft, bench_quat
+);
+
+/// Short measurement windows: the benches cover many targets on a
+/// single-core CI-like box; Criterion's defaults would take tens of
+/// minutes for no extra insight at this granularity.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_main!(benches);

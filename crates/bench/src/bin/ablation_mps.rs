@@ -1,0 +1,39 @@
+//! Ablation (paper § 3.1.2): the CUDA Multi-Process Service.
+//!
+//! "The code *needs* to be run with NVIDIA MPS for optimal performance …
+//! previous attempts without MPS saw the CUDA driver context-switch
+//! between processes, effectively capping our performance to one process
+//! per device."
+//!
+//! Usage: `ablation_mps [--scale <f>]`.
+
+use repro_bench::report::{fmt_secs, scale_from_args, write_csv, Table};
+use repro_bench::{run_config, RunConfig};
+use toast_core::dispatch::ImplKind;
+use toast_satsim::Problem;
+
+fn main() {
+    let scale = scale_from_args(1e-3);
+    println!("Ablation — MPS on/off for the offload port (medium, scale {scale})\n");
+
+    let mut table = Table::new(&["procs", "mps_on_s", "mps_off_s", "penalty"]);
+    for procs in [4u32, 8, 16, 32] {
+        let mut on = RunConfig::new(Problem::medium(scale), ImplKind::OmpTarget, procs);
+        on.mps = true;
+        let mut off = on.clone();
+        off.mps = false;
+        let t_on = run_config(&on).runtime().expect("fits");
+        let t_off = run_config(&off).runtime().expect("fits");
+        table.row(vec![
+            procs.to_string(),
+            fmt_secs(t_on),
+            fmt_secs(t_off),
+            format!("{:.2}x", t_off / t_on),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper: without MPS, >1 process per device stops paying off.");
+    if let Some(path) = write_csv("ablation_mps", &table) {
+        println!("wrote {}", path.display());
+    }
+}

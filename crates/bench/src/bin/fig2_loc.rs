@@ -1,0 +1,38 @@
+//! Figure 2: lines of code per implementation.
+//!
+//! Two bars per implementation: *lines of kernel code* (the kernel bodies
+//! under `toast-core/src/kernels/*/{cpu,omp,jit}.rs`, tests stripped) and
+//! total *lines of code* (kernels + the implementation's framework and
+//! accelerator plumbing). The paper found JAX kernels ~1.2× *shorter* than
+//! the CPU baseline and OpenMP Target Offload ~1.8× *longer*.
+
+use loc_count::{find_workspace_root, implementation_totals, Implementation};
+use repro_bench::report::{write_csv, Table};
+
+fn main() {
+    let root = find_workspace_root().expect("run inside the workspace");
+    println!("Figure 2 — lines of code per implementation\n");
+
+    let (cpu_kernel, _) = implementation_totals(&root, Implementation::Cpu);
+    let mut table = Table::new(&[
+        "implementation",
+        "kernel_loc",
+        "total_loc",
+        "kernel_vs_cpu",
+    ]);
+    for imp in Implementation::ALL {
+        let (kernel, total) = implementation_totals(&root, imp);
+        table.row(vec![
+            imp.label().to_string(),
+            kernel.to_string(),
+            total.to_string(),
+            format!("{:.2}x", kernel as f64 / cpu_kernel as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper: JAX kernels ~0.8x the CPU baseline, OpenMP Target ~1.8x;");
+    println!("       device ports add framework code on top of kernel lines.");
+    if let Some(path) = write_csv("fig2_loc", &table) {
+        println!("wrote {}", path.display());
+    }
+}

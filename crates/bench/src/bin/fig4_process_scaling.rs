@@ -1,0 +1,58 @@
+//! Figure 4: runtime as a function of the number of processes.
+//!
+//! Medium problem, one node (64 cores, 4 GPUs); processes × threads = 64
+//! throughout. Reproduces the paper's curves:
+//!
+//! * OpenMP CPU falls roughly proportionally with processes (serial
+//!   per-process work is parallelised by adding ranks);
+//! * JAX peaks at 8 processes (2 per GPU, the oversubscription benefit),
+//!   ~2.4× over CPU, and reports OOM at 1 and 64 processes;
+//! * OpenMP Target Offload tracks JAX but consistently ~20% faster,
+//!   peaking ~2.9×, fits at 1 process, OOMs at 64.
+//!
+//! Usage: `fig4_process_scaling [--scale <f>]` (default 1e-3).
+
+use repro_bench::report::{fmt_ratio, fmt_secs, scale_from_args, write_csv, Table};
+use repro_bench::{run_config, RunConfig};
+use toast_core::dispatch::ImplKind;
+use toast_satsim::Problem;
+
+fn main() {
+    let scale = scale_from_args(1e-3);
+    println!("Figure 4 — runtime vs process count (medium, 1 node, scale {scale})\n");
+
+    let mut table = Table::new(&[
+        "procs", "threads", "cpu_s", "jax_s", "omp_s", "jax_speedup", "omp_speedup",
+    ]);
+
+    for procs in [1u32, 2, 4, 8, 16, 32, 64] {
+        let problem = Problem::medium(scale);
+        let cpu = run_config(&RunConfig::new(problem.clone(), ImplKind::Cpu, procs));
+        let jax = run_config(&RunConfig::new(problem.clone(), ImplKind::Jit, procs));
+        let omp = run_config(&RunConfig::new(problem, ImplKind::OmpTarget, procs));
+
+        let cpu_t = cpu.runtime();
+        let fmt = |r: &repro_bench::RunOutcome| match r.runtime() {
+            Some(t) => fmt_secs(t),
+            None => "OOM".to_string(),
+        };
+        let speedup = |r: &repro_bench::RunOutcome| match (cpu_t, r.runtime()) {
+            (Some(c), Some(t)) => fmt_ratio(c / t),
+            _ => "-".to_string(),
+        };
+        table.row(vec![
+            procs.to_string(),
+            (64 / procs).to_string(),
+            fmt(&cpu),
+            fmt(&jax),
+            fmt(&omp),
+            speedup(&jax),
+            speedup(&omp),
+        ]);
+    }
+
+    println!("{}", table.render());
+    if let Some(path) = write_csv("fig4_process_scaling", &table) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 5: the full benchmark — large problem, 8 nodes, 16 processes per
+//! node, 4 threads per process.
+//!
+//! Paper: JAX 2.28x and OpenMP Target Offload 2.58x faster than the CPU
+//! baseline; the JAX *CPU backend* (same infrastructure, XLA CPU) is 7.4x
+//! *slower* than the baseline and is quoted in text because it would dwarf
+//! the plot.
+//!
+//! Usage: `fig5_full_benchmark [--scale <f>]` (default 1e-3).
+
+use repro_bench::report::{fmt_ratio, fmt_secs, scale_from_args, write_csv, Table};
+use repro_bench::{run_config, RunConfig};
+use toast_core::dispatch::ImplKind;
+use toast_satsim::Problem;
+
+fn main() {
+    let scale = scale_from_args(1e-3);
+    println!("Figure 5 — full benchmark (large, 8 nodes x 16 procs x 4 threads, scale {scale})\n");
+
+    let procs = 16u32;
+    let runs = [
+        ("OpenMP CPU", ImplKind::Cpu),
+        ("JAX", ImplKind::Jit),
+        ("OpenMP Target Offload", ImplKind::OmpTarget),
+        ("JAX (CPU backend)", ImplKind::JitCpu),
+    ];
+
+    let mut results = Vec::new();
+    for (label, kind) in runs {
+        let out = run_config(&RunConfig::new(Problem::large(scale), kind, procs));
+        results.push((label, out));
+    }
+    let cpu_t = results[0].1.runtime().expect("cpu baseline fits");
+
+    let mut table = Table::new(&["implementation", "runtime_s", "vs_cpu"]);
+    for (label, out) in &results {
+        match out.runtime() {
+            Some(t) => {
+                let r = cpu_t / t;
+                let vs = if r >= 1.0 {
+                    format!("{} faster", fmt_ratio(r))
+                } else {
+                    format!("{} slower", fmt_ratio(1.0 / r))
+                };
+                table.row(vec![label.to_string(), fmt_secs(t), vs]);
+            }
+            None => table.row(vec![label.to_string(), "OOM".into(), "-".into()]),
+        }
+    }
+    println!("{}", table.render());
+    println!("paper: JAX 2.28x, OpenMP Target 2.58x faster; JAX CPU backend 7.4x slower.");
+    if let Some(path) = write_csv("fig5_full_benchmark", &table) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,20 @@
+//! The figure-regeneration harness.
+//!
+//! One module per concern:
+//!
+//! * [`runner`] — execute one benchmark configuration (problem ×
+//!   implementation × processes × MPS × movement policy): build every
+//!   rank's workload, run the pipelines recording traces, replay them
+//!   through the node-level discrete-event simulation, and price the
+//!   inter-node collectives;
+//! * [`report`] — aligned text tables and CSV emission under
+//!   `target/figures/`.
+//!
+//! Each binary under `src/bin/` regenerates one of the paper's figures or
+//! one of the DESIGN.md ablations; `EXPERIMENTS.md` records paper-vs-
+//! measured for all of them.
+
+pub mod report;
+pub mod runner;
+
+pub use runner::{run_config, RunConfig, RunOutcome};

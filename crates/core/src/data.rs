@@ -1,0 +1,287 @@
+//! The time-ordered data model: focal planes, observations, intervals,
+//! sky maps.
+//!
+//! Mirrors TOAST's layout: an [`Observation`] holds a contiguous span of
+//! samples for a set of detectors; per-detector timestreams are flat
+//! `[n_det × n_samples]` arrays; pointing products are `[n_det × n_samples
+//! × k]`; science happens only inside [`Interval`]s (valid scan spans of
+//! *varying* length — the property that collides with arrayjit's static
+//! shapes and forces padding).
+
+use toast_healpix::Nside;
+
+/// One detector of the focal plane.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    /// Detector name (e.g. `"D017A"`).
+    pub name: String,
+    /// Focal-plane offset quaternion (rotation from boresight frame),
+    /// `[x, y, z, w]`.
+    pub quat: [f64; 4],
+    /// Polarisation efficiency `η ∈ [0, 1]` (1 = ideal polarimeter).
+    pub pol_efficiency: f64,
+    /// Inverse noise variance weight used by the map-making kernels.
+    pub noise_weight: f64,
+    /// White-noise level (NET) in arbitrary units per √Hz.
+    pub net: f64,
+    /// 1/f knee frequency in Hz.
+    pub fknee: f64,
+    /// 1/f spectral slope.
+    pub alpha: f64,
+}
+
+/// The set of detectors observing together.
+#[derive(Debug, Clone, Default)]
+pub struct FocalPlane {
+    pub detectors: Vec<Detector>,
+}
+
+impl FocalPlane {
+    /// Number of detectors.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Whether the focal plane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// The flat `[n_det × 4]` array of offset quaternions the kernels
+    /// consume.
+    pub fn quat_array(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(4 * self.detectors.len());
+        for d in &self.detectors {
+            out.extend_from_slice(&d.quat);
+        }
+        out
+    }
+
+    /// Per-detector noise weights as a flat array.
+    pub fn noise_weights(&self) -> Vec<f64> {
+        self.detectors.iter().map(|d| d.noise_weight).collect()
+    }
+}
+
+/// A half-open span of valid samples `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Interval {
+    /// Construct, checking ordering.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "interval [{start}, {end}) reversed");
+        Self { start, end }
+    }
+
+    /// Number of samples covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The longest interval — the static padding size for the arrayjit port
+/// and the collapsed loop bound for the offload port.
+pub fn max_interval_len(intervals: &[Interval]) -> usize {
+    intervals.iter().map(Interval::len).max().unwrap_or(0)
+}
+
+/// Geometry of a pixelised sky for this run.
+#[derive(Debug, Clone, Copy)]
+pub struct SkyGeometry {
+    /// HEALPix resolution.
+    pub nside: Nside,
+    /// Whether pixel indices use NESTED ordering (TOAST's default).
+    pub nest: bool,
+    /// Non-zeros per pixel: 1 for intensity-only, 3 for I/Q/U.
+    pub nnz: usize,
+}
+
+impl SkyGeometry {
+    /// Total pixels.
+    pub fn n_pix(&self) -> usize {
+        self.nside.npix() as usize
+    }
+
+    /// Flat length of a map array.
+    pub fn map_len(&self) -> usize {
+        self.n_pix() * self.nnz
+    }
+}
+
+/// One observation: a contiguous block of samples for every detector, with
+/// all of the buffers the ten kernels read and write.
+///
+/// Buffers are plain flat `Vec`s (host truth); device residency is managed
+/// by [`crate::memory`].
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Samples per detector.
+    pub n_samples: usize,
+    /// Number of detectors.
+    pub n_det: usize,
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Valid-science intervals (varying lengths).
+    pub intervals: Vec<Interval>,
+    /// Boresight attitude quaternions, `[n_samples × 4]`.
+    pub boresight: Vec<f64>,
+    /// Detector offset quaternions, `[n_det × 4]`.
+    pub fp_quats: Vec<f64>,
+    /// Per-detector noise weights, `[n_det]`.
+    pub det_weights: Vec<f64>,
+    /// Detector pol efficiencies, `[n_det]`.
+    pub det_epsilon: Vec<f64>,
+    /// Detector timestreams (signal), `[n_det × n_samples]`.
+    pub signal: Vec<f64>,
+    /// Expanded detector pointing, `[n_det × n_samples × 4]`.
+    pub quats: Vec<f64>,
+    /// HEALPix pixel per sample, `[n_det × n_samples]` (-1 = unflagged).
+    pub pixels: Vec<i64>,
+    /// Stokes weights, `[n_det × n_samples × nnz]`.
+    pub weights: Vec<f64>,
+}
+
+impl Observation {
+    /// Allocate an observation's buffers for `focal_plane` over
+    /// `n_samples` samples with `nnz` Stokes weights.
+    pub fn new(
+        focal_plane: &FocalPlane,
+        n_samples: usize,
+        sample_rate: f64,
+        intervals: Vec<Interval>,
+        nnz: usize,
+    ) -> Self {
+        for iv in &intervals {
+            assert!(iv.end <= n_samples, "interval {iv:?} beyond {n_samples}");
+        }
+        let n_det = focal_plane.len();
+        Self {
+            n_samples,
+            n_det,
+            sample_rate,
+            intervals,
+            boresight: vec![0.0; n_samples * 4],
+            fp_quats: focal_plane.quat_array(),
+            det_weights: focal_plane.noise_weights(),
+            det_epsilon: focal_plane
+                .detectors
+                .iter()
+                .map(|d| d.pol_efficiency)
+                .collect(),
+            signal: vec![0.0; n_det * n_samples],
+            quats: vec![0.0; n_det * n_samples * 4],
+            pixels: vec![-1; n_det * n_samples],
+            weights: vec![0.0; n_det * n_samples * nnz],
+        }
+    }
+
+    /// Samples actually covered by intervals (per detector).
+    pub fn science_samples(&self) -> usize {
+        self.intervals.iter().map(Interval::len).sum()
+    }
+
+    /// The longest interval (padding bound).
+    pub fn max_interval_len(&self) -> usize {
+        max_interval_len(&self.intervals)
+    }
+
+    /// Mutable view of one detector's timestream.
+    pub fn signal_det_mut(&mut self, det: usize) -> &mut [f64] {
+        let n = self.n_samples;
+        &mut self.signal[det * n..(det + 1) * n]
+    }
+
+    /// View of one detector's timestream.
+    pub fn signal_det(&self, det: usize) -> &[f64] {
+        let n = self.n_samples;
+        &self.signal[det * n..(det + 1) * n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn small_focal_plane(n: usize) -> FocalPlane {
+        FocalPlane {
+            detectors: (0..n)
+                .map(|i| Detector {
+                    name: format!("D{i:03}"),
+                    quat: crate::quat::from_axis_angle([1.0, 0.0, 0.0], 0.01 * i as f64),
+                    pol_efficiency: 0.95,
+                    noise_weight: 1.0 + i as f64,
+                    net: 1.0,
+                    fknee: 0.1,
+                    alpha: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn observation_buffer_sizes() {
+        let fp = small_focal_plane(3);
+        let obs = Observation::new(&fp, 100, 10.0, vec![Interval::new(0, 100)], 3);
+        assert_eq!(obs.signal.len(), 300);
+        assert_eq!(obs.quats.len(), 1200);
+        assert_eq!(obs.pixels.len(), 300);
+        assert_eq!(obs.weights.len(), 900);
+        assert_eq!(obs.boresight.len(), 400);
+        assert_eq!(obs.fp_quats.len(), 12);
+        assert_eq!(obs.science_samples(), 100);
+    }
+
+    #[test]
+    fn interval_properties() {
+        let iv = Interval::new(10, 25);
+        assert_eq!(iv.len(), 15);
+        assert!(!iv.is_empty());
+        assert!(Interval::new(5, 5).is_empty());
+        let ivs = vec![Interval::new(0, 10), Interval::new(10, 45), Interval::new(50, 51)];
+        assert_eq!(max_interval_len(&ivs), 35);
+        assert_eq!(max_interval_len(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed")]
+    fn reversed_interval_panics() {
+        Interval::new(5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn interval_outside_observation_panics() {
+        let fp = small_focal_plane(1);
+        Observation::new(&fp, 10, 1.0, vec![Interval::new(0, 11)], 1);
+    }
+
+    #[test]
+    fn detector_signal_views() {
+        let fp = small_focal_plane(2);
+        let mut obs = Observation::new(&fp, 4, 1.0, vec![Interval::new(0, 4)], 1);
+        obs.signal_det_mut(1)[2] = 7.0;
+        assert_eq!(obs.signal_det(0), &[0.0; 4]);
+        assert_eq!(obs.signal_det(1), &[0.0, 0.0, 7.0, 0.0]);
+        assert_eq!(obs.signal[6], 7.0);
+    }
+
+    #[test]
+    fn sky_geometry() {
+        let g = SkyGeometry {
+            nside: Nside::new(16).unwrap(),
+            nest: true,
+            nnz: 3,
+        };
+        assert_eq!(g.n_pix(), 3072);
+        assert_eq!(g.map_len(), 9216);
+    }
+}

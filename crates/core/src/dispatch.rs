@@ -1,0 +1,162 @@
+//! Runtime kernel dispatch (paper § 3.2.1).
+//!
+//! "We designed a runtime dispatch system over kernels, enabling the
+//! selection of specific implementations for the entire code, individual
+//! pipelines, or kernels." [`ImplSelection`] is that system: a global
+//! default plus per-kernel overrides, resolved at each kernel call.
+
+use std::collections::HashMap;
+
+/// The ten benchmark kernels (paper § 3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelId {
+    BuildNoiseWeighted,
+    NoiseWeight,
+    PixelsHealpix,
+    PointingDetector,
+    ScanMap,
+    StokesWeightsI,
+    StokesWeightsIqu,
+    TemplateOffsetAddToSignal,
+    TemplateOffsetProjectSignal,
+    TemplateOffsetApplyDiagPrecond,
+}
+
+impl KernelId {
+    /// All kernels, in the paper's listing order.
+    pub const ALL: [KernelId; 10] = [
+        KernelId::BuildNoiseWeighted,
+        KernelId::NoiseWeight,
+        KernelId::PixelsHealpix,
+        KernelId::PointingDetector,
+        KernelId::ScanMap,
+        KernelId::StokesWeightsI,
+        KernelId::StokesWeightsIqu,
+        KernelId::TemplateOffsetAddToSignal,
+        KernelId::TemplateOffsetProjectSignal,
+        KernelId::TemplateOffsetApplyDiagPrecond,
+    ];
+
+    /// The eight kernels exercised by the paper's benchmark (all but
+    /// `stokes_weights_I` and `template_offset_apply_diag_precond`,
+    /// footnote 6).
+    pub const BENCHMARK: [KernelId; 8] = [
+        KernelId::BuildNoiseWeighted,
+        KernelId::NoiseWeight,
+        KernelId::PixelsHealpix,
+        KernelId::PointingDetector,
+        KernelId::ScanMap,
+        KernelId::StokesWeightsIqu,
+        KernelId::TemplateOffsetAddToSignal,
+        KernelId::TemplateOffsetProjectSignal,
+    ];
+
+    /// The kernel's name as the paper's figures label it.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelId::BuildNoiseWeighted => "build_noise_weighted",
+            KernelId::NoiseWeight => "noise_weight",
+            KernelId::PixelsHealpix => "pixels_healpix",
+            KernelId::PointingDetector => "pointing_detector",
+            KernelId::ScanMap => "scan_map",
+            KernelId::StokesWeightsI => "stokes_weights_I",
+            KernelId::StokesWeightsIqu => "stokes_weights_IQU",
+            KernelId::TemplateOffsetAddToSignal => "template_offset_add_to_signal",
+            KernelId::TemplateOffsetProjectSignal => "template_offset_project_signal",
+            KernelId::TemplateOffsetApplyDiagPrecond => "template_offset_apply_diag_precond",
+        }
+    }
+}
+
+/// Which implementation of a kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ImplKind {
+    /// The rayon-parallel host baseline (the paper's "OpenMP CPU").
+    #[default]
+    Cpu,
+    /// The directive-style offload port ("OpenMP Target Offload").
+    OmpTarget,
+    /// The traced/JIT port on the device backend ("JAX").
+    Jit,
+    /// The traced/JIT port forced onto its CPU backend (§ 4.2).
+    JitCpu,
+}
+
+impl ImplKind {
+    /// Whether this implementation runs on the (simulated) accelerator and
+    /// therefore needs device-resident data.
+    pub fn uses_device(self) -> bool {
+        matches!(self, ImplKind::OmpTarget | ImplKind::Jit)
+    }
+}
+
+/// Global default + per-kernel overrides.
+#[derive(Debug, Clone, Default)]
+pub struct ImplSelection {
+    default: ImplKind,
+    overrides: HashMap<KernelId, ImplKind>,
+}
+
+impl ImplSelection {
+    /// Every kernel uses `default`.
+    pub fn all(default: ImplKind) -> Self {
+        Self {
+            default,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Override one kernel (e.g. run only `scan_map` on the GPU "for
+    /// testing and debugging purposes", § 3.2.2).
+    pub fn with_override(mut self, kernel: KernelId, kind: ImplKind) -> Self {
+        self.overrides.insert(kernel, kind);
+        self
+    }
+
+    /// Resolve the implementation for `kernel`.
+    pub fn resolve(&self, kernel: KernelId) -> ImplKind {
+        self.overrides.get(&kernel).copied().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_set_matches_footnote_6() {
+        assert_eq!(KernelId::BENCHMARK.len(), 8);
+        assert!(!KernelId::BENCHMARK.contains(&KernelId::StokesWeightsI));
+        assert!(!KernelId::BENCHMARK.contains(&KernelId::TemplateOffsetApplyDiagPrecond));
+        for k in KernelId::BENCHMARK {
+            assert!(KernelId::ALL.contains(&k));
+        }
+    }
+
+    #[test]
+    fn overrides_win_over_default() {
+        let sel = ImplSelection::all(ImplKind::Jit)
+            .with_override(KernelId::ScanMap, ImplKind::Cpu)
+            .with_override(KernelId::PixelsHealpix, ImplKind::OmpTarget);
+        assert_eq!(sel.resolve(KernelId::ScanMap), ImplKind::Cpu);
+        assert_eq!(sel.resolve(KernelId::PixelsHealpix), ImplKind::OmpTarget);
+        assert_eq!(sel.resolve(KernelId::NoiseWeight), ImplKind::Jit);
+    }
+
+    #[test]
+    fn device_usage_flags() {
+        assert!(ImplKind::OmpTarget.uses_device());
+        assert!(ImplKind::Jit.uses_device());
+        assert!(!ImplKind::Cpu.uses_device());
+        assert!(!ImplKind::JitCpu.uses_device());
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(KernelId::StokesWeightsIqu.name(), "stokes_weights_IQU");
+        assert_eq!(
+            KernelId::TemplateOffsetProjectSignal.name(),
+            "template_offset_project_signal"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! CPU baseline: a streaming scale.
+
+use accel_sim::Context;
+use rayon::prelude::*;
+
+use crate::kernels::support::{charge_cpu, science_items};
+use crate::workspace::Workspace;
+
+/// Apply noise weights on the host.
+pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
+    let n_samp = ws.obs.n_samples;
+    let det_weights = &ws.obs.det_weights;
+    let intervals = &ws.obs.intervals;
+
+    ws.obs
+        .signal
+        .par_chunks_mut(n_samp)
+        .enumerate()
+        .for_each(|(det, sig)| {
+            let w = det_weights[det];
+            for iv in intervals {
+                for s in iv.start..iv.end {
+                    sig[s] *= w;
+                }
+            }
+        });
+
+    charge_cpu(
+        ctx,
+        "noise_weight",
+        science_items(ws.obs.n_det, &ws.obs.intervals),
+        super::FLOPS_PER_ITEM,
+        super::BYTES_PER_ITEM,
+        threads,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_workspace;
+    use accel_sim::NodeCalib;
+
+    #[test]
+    fn scales_only_interval_samples() {
+        let mut ws = test_workspace(2, 80, 4);
+        let before = ws.obs.signal.clone();
+        let mut ctx = Context::new(NodeCalib::default());
+        run(&mut ctx, 2, &mut ws);
+        for det in 0..2 {
+            let w = ws.obs.det_weights[det];
+            for s in 0..80 {
+                let idx = det * 80 + s;
+                let in_iv = ws.obs.intervals.iter().any(|iv| s >= iv.start && s < iv.end);
+                let expected = if in_iv { before[idx] * w } else { before[idx] };
+                assert_eq!(ws.obs.signal[idx], expected, "det {det} s {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! `noise_weight` — scale timestreams with detector noise weights.
+//!
+//! For every detector `d` and in-interval sample `s`:
+//!
+//! ```text
+//! signal[d, s] *= det_weights[d]
+//! ```
+//!
+//! Purely memory-bound: one multiply per 16 bytes of read-modify-write
+//! traffic.
+
+pub mod cpu;
+pub mod jit;
+pub mod omp;
+
+use crate::dispatch::KernelId;
+
+/// Flops per sample.
+pub(crate) const FLOPS_PER_ITEM: f64 = 1.0;
+/// Bytes per sample: signal read + write.
+pub(crate) const BYTES_PER_ITEM: f64 = 16.0;
+
+crate::kernels::dispatch_impl!(KernelId::NoiseWeight, noise_weight);

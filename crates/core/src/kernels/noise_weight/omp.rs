@@ -1,0 +1,71 @@
+//! Offload port: a memory-bound streaming scale inside the collapsed loop.
+
+use accel_sim::Context;
+use offload::{target_parallel_for_collapse3, KernelSpec};
+
+use crate::kernels::support::guard_divergence;
+use crate::memory::OmpStore;
+use crate::workspace::{BufferId, Workspace};
+
+/// Launch the device kernel over resident buffers.
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+    let n_det = ws.obs.n_det;
+    let n_samp = ws.obs.n_samples;
+    let intervals = &ws.obs.intervals;
+    let max_len = ws.obs.max_interval_len();
+
+    let spec = KernelSpec::divergent(
+        "noise_weight",
+        super::FLOPS_PER_ITEM,
+        super::BYTES_PER_ITEM,
+        guard_divergence(n_det, intervals),
+    );
+
+    let det_weights = store.take(BufferId::DetWeights);
+    let mut signal = store.take(BufferId::Signal);
+    {
+        let w = det_weights.device_slice();
+        let sig = signal.device_slice_mut();
+        target_parallel_for_collapse3(
+            ctx,
+            &spec,
+            (n_det, intervals.len(), max_len),
+            |det, iv_idx, k| {
+                let iv = intervals[iv_idx];
+                let s = iv.start + k;
+                if s >= iv.end {
+                    return; // guard
+                }
+                sig[det * n_samp + s] *= w[det];
+            },
+        );
+    }
+    store.put_back(BufferId::DetWeights, det_weights);
+    store.put_back(BufferId::Signal, signal);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AccelStore;
+    use crate::testutil::test_workspace;
+    use accel_sim::NodeCalib;
+
+    #[test]
+    fn matches_cpu_implementation() {
+        let mut ws_cpu = test_workspace(3, 90, 4);
+        let mut ws_omp = ws_cpu.clone();
+        let mut ctx = Context::new(NodeCalib::default());
+        super::super::cpu::run(&mut ctx, 2, &mut ws_cpu);
+
+        let mut store = AccelStore::omp();
+        for id in [BufferId::DetWeights, BufferId::Signal] {
+            store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
+        }
+        if let AccelStore::Omp(s) = &mut store {
+            run(&mut ctx, s, &ws_omp);
+        }
+        store.update_host(&mut ctx, &mut ws_omp, BufferId::Signal);
+        assert_eq!(ws_cpu.obs.signal, ws_omp.obs.signal);
+    }
+}

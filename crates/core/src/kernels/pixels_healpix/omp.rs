@@ -1,0 +1,77 @@
+//! Offload port: same inner pixelisation function as the CPU baseline,
+//! inside the collapsed triple loop with the interval guard. The branchy
+//! body costs a divergence factor on the SIMT device.
+
+use accel_sim::Context;
+use offload::{target_parallel_for_collapse3, KernelSpec};
+use toast_healpix::ring::vec2pix_ring;
+
+use crate::kernels::support::guard_divergence;
+use crate::memory::OmpStore;
+use crate::quat;
+use crate::workspace::{BufferId, Workspace};
+
+/// Launch the device kernel over resident buffers.
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+    let n_det = ws.obs.n_det;
+    let n_samp = ws.obs.n_samples;
+    let nside = ws.geom.nside;
+    let intervals = &ws.obs.intervals;
+    let max_len = ws.obs.max_interval_len();
+
+    let spec = KernelSpec::divergent(
+        "pixels_healpix",
+        super::FLOPS_PER_ITEM,
+        super::BYTES_PER_ITEM,
+        super::OMP_DIVERGENCE * guard_divergence(n_det, intervals),
+    );
+
+    let quats = store.take(BufferId::Quats);
+    {
+        let q = quats.device_slice();
+        let pix = store.pixels_mut().device_slice_mut();
+        target_parallel_for_collapse3(
+            ctx,
+            &spec,
+            (n_det, intervals.len(), max_len),
+            |det, iv_idx, k| {
+                let iv = intervals[iv_idx];
+                let s = iv.start + k;
+                if s >= iv.end {
+                    return; // guard
+                }
+                let base = det * n_samp * 4 + 4 * s;
+                let quat = [q[base], q[base + 1], q[base + 2], q[base + 3]];
+                pix[det * n_samp + s] = vec2pix_ring(nside, quat::rotate_z(quat)) as i64;
+            },
+        );
+    }
+    store.put_back(BufferId::Quats, quats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AccelStore;
+    use crate::testutil::test_workspace;
+    use accel_sim::NodeCalib;
+
+    #[test]
+    fn matches_cpu_implementation() {
+        let mut ws_cpu = test_workspace(3, 130, 16);
+        let mut ctx = Context::new(NodeCalib::default());
+        super::super::super::pointing_detector::cpu::run(&mut ctx, 2, &mut ws_cpu);
+        let mut ws_omp = ws_cpu.clone();
+        super::super::cpu::run(&mut ctx, 2, &mut ws_cpu);
+
+        let mut store = AccelStore::omp();
+        for id in [BufferId::Quats, BufferId::Pixels] {
+            store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
+        }
+        if let AccelStore::Omp(s) = &mut store {
+            run(&mut ctx, s, &ws_omp);
+        }
+        store.update_host(&mut ctx, &mut ws_omp, BufferId::Pixels);
+        assert_eq!(ws_cpu.obs.pixels, ws_omp.obs.pixels);
+    }
+}

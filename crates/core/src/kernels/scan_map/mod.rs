@@ -1,0 +1,24 @@
+//! `scan_map` — scan a pixelised sky map onto a timestream.
+//!
+//! For every detector `d` and in-interval sample `s` with a valid pixel:
+//!
+//! ```text
+//! signal[d, s] += Σ_k map[pixels[d, s], k] · weights[d, s, k]
+//! ```
+//!
+//! A gather kernel: the map reads are data-dependent (random access), the
+//! arithmetic is a short dot product over the Stokes components.
+
+pub mod cpu;
+pub mod jit;
+pub mod omp;
+
+use crate::dispatch::KernelId;
+
+/// Flops per sample: nnz multiply-adds (nnz = 3) plus the accumulate.
+pub(crate) const FLOPS_PER_ITEM: f64 = 7.0;
+/// Bytes per sample: 8 B pixel + 24 B weights + 24 B uncoalesced map
+/// gather (charged at 2x) + 16 B signal read-modify-write.
+pub(crate) const BYTES_PER_ITEM: f64 = 96.0;
+
+crate::kernels::dispatch_impl!(KernelId::ScanMap, scan_map);

@@ -1,0 +1,123 @@
+//! Shared helpers for the three kernel implementation styles.
+
+use accel_sim::{Context, KernelProfile};
+use rayon::prelude::*;
+
+use crate::data::Interval;
+
+/// Charge the CPU baseline for a kernel: `items` loop iterations at
+/// `flops`/`bytes` per iteration on `threads` host threads. Branch
+/// divergence never penalises the MIMD CPU, so no divergence parameter.
+pub fn charge_cpu(
+    ctx: &mut Context,
+    name: &str,
+    items: f64,
+    flops_per_item: f64,
+    bytes_per_item: f64,
+    threads: u32,
+) {
+    let profile = KernelProfile::uniform(name, items, flops_per_item, bytes_per_item);
+    let seconds = profile.cpu_seconds(&ctx.calib.cpu, threads);
+    ctx.host_compute(name, seconds);
+}
+
+/// Run `body(det, sample)` for every in-interval sample of every detector,
+/// in parallel over detectors (the "OpenMP threading" of the CPU
+/// baseline). `body` must only write detector-`det` data; the split is
+/// expressed through the per-detector mutable chunks of `det_data`.
+pub fn par_detectors<T: Send>(
+    det_data: &mut [T],
+    n_det: usize,
+    intervals: &[Interval],
+    body: impl Fn(usize, &mut [T], usize) + Sync,
+) {
+    assert_eq!(det_data.len() % n_det.max(1), 0, "uneven detector chunks");
+    let chunk = det_data.len() / n_det.max(1);
+    det_data
+        .par_chunks_mut(chunk.max(1))
+        .enumerate()
+        .for_each(|(det, data)| {
+            for iv in intervals {
+                for s in iv.start..iv.end {
+                    body(det, data, s);
+                }
+            }
+        });
+}
+
+/// Total in-interval samples × detectors: the item count of most kernels.
+pub fn science_items(n_det: usize, intervals: &[Interval]) -> f64 {
+    let science: usize = intervals.iter().map(Interval::len).sum();
+    (n_det * science) as f64
+}
+
+/// The padded item count of the collapsed offload loops: detectors ×
+/// intervals × the maximum interval length (iterations outside the actual
+/// interval fail the guard and retire immediately).
+pub fn padded_items(n_det: usize, intervals: &[Interval]) -> f64 {
+    let max_len = intervals.iter().map(Interval::len).max().unwrap_or(0);
+    (n_det * intervals.len() * max_len) as f64
+}
+
+/// Divergence factor of the offload guard: the padded iteration count over
+/// the useful one, floored at 1 (the guard's false branch is a no-op, so
+/// the cost is waste lanes, not serialised paths — paper § 3.1.2 argues
+/// this is nearly free, and indeed the ratio is near 1 for realistic
+/// interval distributions).
+pub fn guard_divergence(n_det: usize, intervals: &[Interval]) -> f64 {
+    let useful = science_items(n_det, intervals);
+    if useful == 0.0 {
+        return 1.0;
+    }
+    (padded_items(n_det, intervals) / useful).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::NodeCalib;
+
+    fn ivs() -> Vec<Interval> {
+        vec![
+            Interval::new(0, 10),
+            Interval::new(12, 42),
+            Interval::new(50, 55),
+        ]
+    }
+
+    #[test]
+    fn item_counts() {
+        assert_eq!(science_items(4, &ivs()), (4 * 45) as f64);
+        assert_eq!(padded_items(4, &ivs()), (4 * 3 * 30) as f64);
+        let d = guard_divergence(4, &ivs());
+        assert!((d - 2.0).abs() < 1e-12, "{d}");
+        assert_eq!(guard_divergence(4, &[]), 1.0);
+    }
+
+    #[test]
+    fn par_detectors_visits_only_interval_samples() {
+        let n_det = 3;
+        let n_samp = 60;
+        let mut data = vec![0.0f64; n_det * n_samp];
+        par_detectors(&mut data, n_det, &ivs(), |_det, chunk, s| {
+            chunk[s] += 1.0;
+        });
+        for det in 0..n_det {
+            for s in 0..n_samp {
+                let in_iv = ivs().iter().any(|iv| s >= iv.start && s < iv.end);
+                let expected = if in_iv { 1.0 } else { 0.0 };
+                assert_eq!(data[det * n_samp + s], expected, "det {det} s {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn charge_cpu_scales_with_items() {
+        let mut c1 = Context::new(NodeCalib::default());
+        charge_cpu(&mut c1, "k", 1e6, 100.0, 8.0, 16);
+        let mut c2 = Context::new(NodeCalib::default());
+        charge_cpu(&mut c2, "k", 2e6, 100.0, 8.0, 16);
+        let (t1, t2) = (c1.stats()["k"].seconds, c2.stats()["k"].seconds);
+        assert!((t2 / t1 - 2.0).abs() < 0.01);
+    }
+}

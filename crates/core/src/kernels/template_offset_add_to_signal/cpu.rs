@@ -1,0 +1,62 @@
+//! CPU baseline: stride through steps, streaming adds.
+
+use accel_sim::Context;
+use rayon::prelude::*;
+
+use crate::kernels::support::{charge_cpu, science_items};
+use crate::workspace::Workspace;
+
+/// Add template offsets into the timestreams on the host.
+pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
+    let n_samp = ws.obs.n_samples;
+    let step = ws.step_length;
+    let n_amp = ws.n_amp;
+    let amplitudes = &ws.amplitudes;
+    let intervals = &ws.obs.intervals;
+
+    ws.obs
+        .signal
+        .par_chunks_mut(n_samp)
+        .enumerate()
+        .for_each(|(det, sig)| {
+            let amps = &amplitudes[det * n_amp..(det + 1) * n_amp];
+            for iv in intervals {
+                for s in iv.start..iv.end {
+                    sig[s] += amps[s / step];
+                }
+            }
+        });
+
+    charge_cpu(
+        ctx,
+        "template_offset_add_to_signal",
+        science_items(ws.obs.n_det, &ws.obs.intervals),
+        super::FLOPS_PER_ITEM,
+        super::BYTES_PER_ITEM,
+        threads,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_workspace;
+    use accel_sim::NodeCalib;
+
+    #[test]
+    fn adds_the_right_step_amplitude() {
+        let mut ws = test_workspace(2, 100, 4);
+        let before = ws.obs.signal.clone();
+        let mut ctx = Context::new(NodeCalib::default());
+        run(&mut ctx, 2, &mut ws);
+        for det in 0..2 {
+            for s in 0..100 {
+                let idx = det * 100 + s;
+                let in_iv = ws.obs.intervals.iter().any(|iv| s >= iv.start && s < iv.end);
+                let amp = ws.amplitudes[det * ws.n_amp + s / ws.step_length];
+                let expected = if in_iv { before[idx] + amp } else { before[idx] };
+                assert_eq!(ws.obs.signal[idx], expected, "det {det} s {s}");
+            }
+        }
+    }
+}

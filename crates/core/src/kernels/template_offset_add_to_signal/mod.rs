@@ -1,0 +1,27 @@
+//! `template_offset_add_to_signal` — scan a step-wise noise offset
+//! solution onto a timestream.
+//!
+//! Each detector's timestream is divided into steps of `step_length`
+//! samples; amplitude `j` of detector `d` is added to every in-interval
+//! sample of step `j`:
+//!
+//! ```text
+//! signal[d, s] += amplitudes[d, s / step_length]
+//! ```
+//!
+//! Almost no arithmetic — "a kernel doing very little computation" — which
+//! is why it shows the paper's *smallest* GPU speedups (1.5× JIT, 5×
+//! offload).
+
+pub mod cpu;
+pub mod jit;
+pub mod omp;
+
+use crate::dispatch::KernelId;
+
+/// Flops per sample (index arithmetic + one add).
+pub(crate) const FLOPS_PER_ITEM: f64 = 2.0;
+/// Bytes per sample: signal read-modify-write + amortised amplitude read.
+pub(crate) const BYTES_PER_ITEM: f64 = 24.0;
+
+crate::kernels::dispatch_impl!(KernelId::TemplateOffsetAddToSignal, template_offset_add_to_signal);

@@ -1,0 +1,45 @@
+//! CPU baseline: an elementwise product over the amplitude vectors.
+
+use accel_sim::Context;
+use rayon::prelude::*;
+
+use crate::kernels::support::charge_cpu;
+use crate::workspace::Workspace;
+
+/// Apply the diagonal preconditioner on the host.
+pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
+    let amps = &ws.amplitudes;
+    let precond = &ws.precond;
+    ws.amp_out
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, out)| {
+            *out = amps[i] * precond[i];
+        });
+
+    charge_cpu(
+        ctx,
+        "template_offset_apply_diag_precond",
+        (ws.obs.n_det * ws.n_amp) as f64,
+        super::FLOPS_PER_ITEM,
+        super::BYTES_PER_ITEM,
+        threads,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_workspace;
+    use accel_sim::NodeCalib;
+
+    #[test]
+    fn multiplies_elementwise() {
+        let mut ws = test_workspace(2, 60, 4);
+        let mut ctx = Context::new(NodeCalib::default());
+        run(&mut ctx, 2, &mut ws);
+        for i in 0..ws.amp_out.len() {
+            assert_eq!(ws.amp_out[i], ws.amplitudes[i] * ws.precond[i]);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `template_offset_apply_diag_precond` — apply a diagonal preconditioner
+//! to a noise-offset amplitude vector.
+//!
+//! ```text
+//! amp_out[d, j] = amplitudes[d, j] · precond[d, j]
+//! ```
+//!
+//! Used by the destriping conjugate-gradient solver; not part of the
+//! benchmark figures (paper footnote 6).
+
+pub mod cpu;
+pub mod jit;
+pub mod omp;
+
+use crate::dispatch::KernelId;
+
+/// Flops per amplitude.
+pub(crate) const FLOPS_PER_ITEM: f64 = 1.0;
+/// Bytes per amplitude: two reads, one write.
+pub(crate) const BYTES_PER_ITEM: f64 = 24.0;
+
+crate::kernels::dispatch_impl!(
+    KernelId::TemplateOffsetApplyDiagPrecond,
+    template_offset_apply_diag_precond
+);

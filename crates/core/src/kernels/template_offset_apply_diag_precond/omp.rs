@@ -1,0 +1,59 @@
+//! Offload port: a flat elementwise target region (no intervals — the
+//! amplitude vector has no time structure).
+
+use accel_sim::Context;
+use offload::{target_parallel_for, KernelSpec};
+
+use crate::memory::OmpStore;
+use crate::workspace::{BufferId, Workspace};
+
+/// Launch the device kernel over resident buffers.
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+    let n = ws.obs.n_det * ws.n_amp;
+    let spec = KernelSpec::uniform(
+        "template_offset_apply_diag_precond",
+        super::FLOPS_PER_ITEM,
+        super::BYTES_PER_ITEM,
+    );
+
+    let amps = store.take(BufferId::Amplitudes);
+    let precond = store.take(BufferId::Precond);
+    let mut amp_out = store.take(BufferId::AmpOut);
+    {
+        let a = amps.device_slice();
+        let p = precond.device_slice();
+        let out = amp_out.device_slice_mut();
+        target_parallel_for(ctx, &spec, n, |i| {
+            out[i] = a[i] * p[i];
+        });
+    }
+    store.put_back(BufferId::Amplitudes, amps);
+    store.put_back(BufferId::Precond, precond);
+    store.put_back(BufferId::AmpOut, amp_out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AccelStore;
+    use crate::testutil::test_workspace;
+    use accel_sim::NodeCalib;
+
+    #[test]
+    fn matches_cpu_implementation() {
+        let mut ws_cpu = test_workspace(2, 60, 4);
+        let mut ws_omp = ws_cpu.clone();
+        let mut ctx = Context::new(NodeCalib::default());
+        super::super::cpu::run(&mut ctx, 2, &mut ws_cpu);
+
+        let mut store = AccelStore::omp();
+        for id in [BufferId::Amplitudes, BufferId::Precond, BufferId::AmpOut] {
+            store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
+        }
+        if let AccelStore::Omp(s) = &mut store {
+            run(&mut ctx, s, &ws_omp);
+        }
+        store.update_host(&mut ctx, &mut ws_omp, BufferId::AmpOut);
+        assert_eq!(ws_cpu.amp_out, ws_omp.amp_out);
+    }
+}

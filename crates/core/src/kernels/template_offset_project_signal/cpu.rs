@@ -1,0 +1,85 @@
+//! CPU baseline: per-amplitude serial reduction (cache-friendly on a CPU).
+
+use accel_sim::Context;
+use rayon::prelude::*;
+
+use crate::kernels::support::{charge_cpu, science_items};
+use crate::workspace::Workspace;
+
+/// Project the timestreams onto the offset amplitudes on the host.
+pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
+    let n_samp = ws.obs.n_samples;
+    let step = ws.step_length;
+    let n_amp = ws.n_amp;
+    let signal = &ws.obs.signal;
+    let intervals = &ws.obs.intervals;
+
+    ws.amp_out
+        .par_chunks_mut(n_amp)
+        .enumerate()
+        .for_each(|(det, out)| {
+            let sig = &signal[det * n_samp..(det + 1) * n_samp];
+            for (j, slot) in out.iter_mut().enumerate() {
+                let lo = j * step;
+                let hi = ((j + 1) * step).min(n_samp);
+                let mut acc = 0.0;
+                for iv in intervals {
+                    let a = iv.start.max(lo);
+                    let b = iv.end.min(hi);
+                    for s in a..b {
+                        acc += sig[s];
+                    }
+                }
+                *slot += acc;
+            }
+        });
+
+    charge_cpu(
+        ctx,
+        "template_offset_project_signal",
+        science_items(ws.obs.n_det, &ws.obs.intervals),
+        super::FLOPS_PER_ITEM,
+        super::BYTES_PER_ITEM,
+        threads,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_workspace;
+    use accel_sim::NodeCalib;
+
+    #[test]
+    fn projection_is_the_transpose_of_add() {
+        // <P a, s> == <a, P^T s>: project then dot against amplitudes must
+        // equal add-to-signal of the amplitudes dotted against the signal.
+        let ws0 = test_workspace(2, 100, 4);
+        let mut ctx = Context::new(NodeCalib::default());
+
+        // y = P a (add amplitudes into a zero signal)
+        let mut ws_a = ws0.clone();
+        ws_a.obs.signal.fill(0.0);
+        super::super::super::template_offset_add_to_signal::cpu::run(&mut ctx, 2, &mut ws_a);
+        let lhs: f64 = ws_a
+            .obs
+            .signal
+            .iter()
+            .zip(&ws0.obs.signal)
+            .map(|(y, s)| y * s)
+            .sum();
+
+        // b = P^T s (project the original signal)
+        let mut ws_b = ws0.clone();
+        ws_b.amp_out.fill(0.0);
+        run(&mut ctx, 2, &mut ws_b);
+        let rhs: f64 = ws_b
+            .amp_out
+            .iter()
+            .zip(&ws0.amplitudes)
+            .map(|(b, a)| b * a)
+            .sum();
+
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+}

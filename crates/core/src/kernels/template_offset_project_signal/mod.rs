@@ -1,0 +1,36 @@
+//! `template_offset_project_signal` — dot product between noise offset
+//! steps and a timestream.
+//!
+//! The transpose of `template_offset_add_to_signal`:
+//!
+//! ```text
+//! amp_out[d, j] += Σ_{s in step j, s in intervals} signal[d, s]
+//! ```
+//!
+//! The paper's most interesting divergence between the two ports: the XLA
+//! compiler recognises the padded per-step reduction as a batched dot
+//! product and hits a library path (45× speedup), while the offload
+//! version's straight loop — one thread per amplitude serially reducing
+//! its step — exposes less parallelism and strided reads (19×). The
+//! arrayjit compiler's `LibraryDot` pattern and the offload port's
+//! serial-reduction penalty reproduce both behaviours.
+
+pub mod cpu;
+pub mod jit;
+pub mod omp;
+
+use crate::dispatch::KernelId;
+
+/// Flops per *sample* (one add).
+pub(crate) const FLOPS_PER_ITEM: f64 = 2.0;
+/// Bytes per sample: signal read + amortised amplitude write.
+pub(crate) const BYTES_PER_ITEM: f64 = 16.0;
+/// Offload inefficiency: each thread serially reduces `step_length`
+/// samples with strided partial sums, under-filling the device relative to
+/// the library GEMV (paper § 4.2).
+pub(crate) const OMP_SERIAL_REDUCTION_PENALTY: f64 = 2.4;
+
+crate::kernels::dispatch_impl!(
+    KernelId::TemplateOffsetProjectSignal,
+    template_offset_project_signal
+);

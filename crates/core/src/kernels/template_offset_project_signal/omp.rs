@@ -1,0 +1,79 @@
+//! Offload port: "a straight loop" — one device thread per (detector,
+//! amplitude), serially reducing its step. Exposes only `n_det × n_amp`
+//! parallel items with strided reads, which is why the paper's offload
+//! version *loses* to the JIT library path on this kernel.
+
+use accel_sim::Context;
+use offload::{target_parallel_for, KernelSpec};
+
+use crate::memory::OmpStore;
+use crate::workspace::{BufferId, Workspace};
+
+/// Launch the device kernel over resident buffers.
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+    let n_det = ws.obs.n_det;
+    let n_samp = ws.obs.n_samples;
+    let step = ws.step_length;
+    let n_amp = ws.n_amp;
+    let intervals = ws.obs.intervals.clone();
+
+    // Per-item work is a whole step: flops/bytes scale with step_length.
+    // The strided, serialised per-thread reduction wastes memory bandwidth
+    // (partial cache lines, no coalescing), so the penalty is folded into
+    // the byte traffic where this memory-bound kernel actually binds.
+    let spec = KernelSpec::uniform(
+        "template_offset_project_signal",
+        super::FLOPS_PER_ITEM * step as f64,
+        super::BYTES_PER_ITEM * step as f64 * super::OMP_SERIAL_REDUCTION_PENALTY,
+    );
+
+    let signal = store.take(BufferId::Signal);
+    let mut amp_out = store.take(BufferId::AmpOut);
+    {
+        let sig = signal.device_slice();
+        let out = amp_out.device_slice_mut();
+        target_parallel_for(ctx, &spec, n_det * n_amp, |item| {
+            let det = item / n_amp;
+            let j = item % n_amp;
+            let lo = j * step;
+            let hi = ((j + 1) * step).min(n_samp);
+            let mut acc = 0.0;
+            for iv in &intervals {
+                let a = iv.start.max(lo);
+                let b = iv.end.min(hi);
+                for s in a..b {
+                    acc += sig[det * n_samp + s];
+                }
+            }
+            out[item] += acc;
+        });
+    }
+    store.put_back(BufferId::Signal, signal);
+    store.put_back(BufferId::AmpOut, amp_out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AccelStore;
+    use crate::testutil::test_workspace;
+    use accel_sim::NodeCalib;
+
+    #[test]
+    fn matches_cpu_implementation() {
+        let mut ws_cpu = test_workspace(3, 130, 4);
+        let mut ws_omp = ws_cpu.clone();
+        let mut ctx = Context::new(NodeCalib::default());
+        super::super::cpu::run(&mut ctx, 2, &mut ws_cpu);
+
+        let mut store = AccelStore::omp();
+        for id in [BufferId::Signal, BufferId::AmpOut] {
+            store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
+        }
+        if let AccelStore::Omp(s) = &mut store {
+            run(&mut ctx, s, &ws_omp);
+        }
+        store.update_host(&mut ctx, &mut ws_omp, BufferId::AmpOut);
+        assert_eq!(ws_cpu.amp_out, ws_omp.amp_out);
+    }
+}

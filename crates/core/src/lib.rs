@@ -1,0 +1,38 @@
+//! TOAST-like time-ordered-data framework: the system under study.
+//!
+//! This crate reimplements, in Rust, the slice of TOAST (Time Ordered
+//! Astrophysics Scalable Tools) that the paper ports and measures:
+//!
+//! * the data model ([`data`], [`workspace`]): focal planes, observations,
+//!   variable-length science intervals, pixelised sky maps;
+//! * quaternion pointing math ([`quat`]);
+//! * the ten kernels ([`kernels`]), each in three implementations — the
+//!   rayon-parallel CPU baseline, the OpenMP-Target-style offload port and
+//!   the JAX-style traced/JIT port;
+//! * the framework-agnostic abstraction layers of the paper's § 3.2:
+//!   runtime kernel dispatch ([`dispatch`]), accelerator memory
+//!   ([`memory`]), hybrid pipelines with residency-tracked data movement
+//!   ([`pipeline`]), and per-function timing with CSV export/merge
+//!   ([`timing`]).
+//!
+//! Execution is real (all kernels compute actual numbers, cross-checked
+//! between implementations) while device timing is charged to the
+//! [`accel_sim`] cost model — see the workspace DESIGN.md.
+
+pub mod data;
+pub mod dispatch;
+pub mod kernels;
+pub mod memory;
+pub mod pipeline;
+pub mod quat;
+pub mod testutil;
+pub mod timing;
+pub mod workspace;
+
+pub use data::{Detector, FocalPlane, Interval, Observation, SkyGeometry};
+pub use dispatch::{ImplKind, ImplSelection, KernelId};
+pub use kernels::{run_kernel, ExecCtx, JitKernels};
+pub use memory::AccelStore;
+pub use pipeline::{benchmark_pipeline, MovementPolicy, OpKind, Pipeline};
+pub use timing::Timers;
+pub use workspace::{BufferId, Workspace};

@@ -1,0 +1,173 @@
+//! Quaternion math for telescope pointing.
+//!
+//! TOAST represents all pointing as unit quaternions: the boresight
+//! attitude is a quaternion per sample, and each detector's placement on
+//! the focal plane is a fixed offset quaternion. `pointing_detector`
+//! composes the two; `pixels_healpix` and `stokes_weights_IQU` rotate the
+//! z-axis (line of sight) and x-axis (polarisation orientation) through
+//! the result.
+//!
+//! Convention: `[x, y, z, w]` component order (TOAST's), Hamilton product.
+
+/// The identity rotation `[0, 0, 0, 1]`.
+pub const IDENTITY: [f64; 4] = [0.0, 0.0, 0.0, 1.0];
+
+/// Hamilton product `a ⊗ b` (apply `b`'s rotation, then `a`'s).
+#[inline]
+pub fn mul(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+    let [ax, ay, az, aw] = a;
+    let [bx, by, bz, bw] = b;
+    [
+        aw * bx + ax * bw + ay * bz - az * by,
+        aw * by - ax * bz + ay * bw + az * bx,
+        aw * bz + ax * by - ay * bx + az * bw,
+        aw * bw - ax * bx - ay * by - az * bz,
+    ]
+}
+
+/// Conjugate (inverse for unit quaternions).
+#[inline]
+pub fn conj(q: [f64; 4]) -> [f64; 4] {
+    [-q[0], -q[1], -q[2], q[3]]
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(q: [f64; 4]) -> f64 {
+    (q[0] * q[0] + q[1] * q[1] + q[2] * q[2] + q[3] * q[3]).sqrt()
+}
+
+/// Normalise to unit length.
+#[inline]
+pub fn normalize(q: [f64; 4]) -> [f64; 4] {
+    let n = norm(q);
+    assert!(n > 0.0, "cannot normalise a zero quaternion");
+    [q[0] / n, q[1] / n, q[2] / n, q[3] / n]
+}
+
+/// Rotation of `angle` radians about the unit `axis`.
+#[inline]
+pub fn from_axis_angle(axis: [f64; 3], angle: f64) -> [f64; 4] {
+    let half = 0.5 * angle;
+    let s = half.sin();
+    [axis[0] * s, axis[1] * s, axis[2] * s, half.cos()]
+}
+
+/// Rotate vector `v` by unit quaternion `q` (computes `q v q*` expanded to
+/// avoid building intermediate quaternions).
+#[inline]
+pub fn rotate(q: [f64; 4], v: [f64; 3]) -> [f64; 3] {
+    let [qx, qy, qz, qw] = q;
+    // t = 2 q_vec × v
+    let tx = 2.0 * (qy * v[2] - qz * v[1]);
+    let ty = 2.0 * (qz * v[0] - qx * v[2]);
+    let tz = 2.0 * (qx * v[1] - qy * v[0]);
+    // v' = v + qw t + q_vec × t
+    [
+        v[0] + qw * tx + (qy * tz - qz * ty),
+        v[1] + qw * ty + (qz * tx - qx * tz),
+        v[2] + qw * tz + (qx * ty - qy * tx),
+    ]
+}
+
+/// The rotated z-axis (telescope line of sight) — the hot path of
+/// `pixels_healpix`.
+#[inline]
+pub fn rotate_z(q: [f64; 4]) -> [f64; 3] {
+    let [qx, qy, qz, qw] = q;
+    [
+        2.0 * (qx * qz + qw * qy),
+        2.0 * (qy * qz - qw * qx),
+        1.0 - 2.0 * (qx * qx + qy * qy),
+    ]
+}
+
+/// The rotated x-axis (polarisation sensitive direction) used by
+/// `stokes_weights_IQU`.
+#[inline]
+pub fn rotate_x(q: [f64; 4]) -> [f64; 3] {
+    let [qx, qy, qz, qw] = q;
+    [
+        1.0 - 2.0 * (qy * qy + qz * qz),
+        2.0 * (qx * qy + qw * qz),
+        2.0 * (qx * qz - qw * qy),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn assert_vec_eq(a: [f64; 3], b: [f64; 3]) {
+        for i in 0..3 {
+            assert!((a[i] - b[i]).abs() < 1e-12, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let q = from_axis_angle([0.0, 0.0, 1.0], 0.7);
+        let p = mul(IDENTITY, q);
+        for i in 0..4 {
+            assert!((p[i] - q[i]).abs() < 1e-15);
+        }
+        assert_vec_eq(rotate(IDENTITY, [1.0, 2.0, 3.0]), [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = from_axis_angle([0.0, 0.0, 1.0], PI / 2.0);
+        assert_vec_eq(rotate(q, [1.0, 0.0, 0.0]), [0.0, 1.0, 0.0]);
+        assert_vec_eq(rotate(q, [0.0, 1.0, 0.0]), [-1.0, 0.0, 0.0]);
+        assert_vec_eq(rotate(q, [0.0, 0.0, 1.0]), [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let a = from_axis_angle([0.0, 1.0, 0.0], 0.3);
+        let b = from_axis_angle([1.0, 0.0, 0.0], 1.1);
+        let v = [0.2, -0.5, 0.8];
+        let once = rotate(mul(a, b), v);
+        let twice = rotate(a, rotate(b, v));
+        assert_vec_eq(once, twice);
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = normalize([0.1, 0.2, 0.3, 0.9]);
+        let v = [1.0, -2.0, 0.5];
+        assert_vec_eq(rotate(conj(q), rotate(q, v)), v);
+        let qq = mul(q, conj(q));
+        assert!((qq[3] - 1.0).abs() < 1e-12);
+        assert!(qq[0].abs() + qq[1].abs() + qq[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let q = normalize([0.4, -0.1, 0.7, 0.2]);
+        let v = [3.0, -4.0, 12.0];
+        let r = rotate(q, v);
+        let len = |u: [f64; 3]| (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
+        assert!((len(r) - len(v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_axis_rotations_match_general() {
+        let q = normalize([0.3, -0.5, 0.1, 0.8]);
+        assert_vec_eq(rotate_z(q), rotate(q, [0.0, 0.0, 1.0]));
+        assert_vec_eq(rotate_x(q), rotate(q, [1.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn axis_angle_unit_norm() {
+        let q = from_axis_angle([0.0, 1.0, 0.0], 2.1);
+        assert!((norm(q) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero quaternion")]
+    fn zero_normalise_panics() {
+        normalize([0.0; 4]);
+    }
+}

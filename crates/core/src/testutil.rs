@@ -1,0 +1,104 @@
+//! Shared test fixtures (also used by the workspace's integration tests
+//! and benches, hence a normal public module).
+
+use crate::data::{Detector, FocalPlane, Interval, Observation, SkyGeometry};
+use crate::quat;
+use crate::workspace::Workspace;
+use toast_healpix::Nside;
+
+/// A small focal plane with detectors fanned out around the boresight.
+pub fn small_focal_plane(n: usize) -> FocalPlane {
+    FocalPlane {
+        detectors: (0..n)
+            .map(|i| {
+                let fan = quat::from_axis_angle([1.0, 0.0, 0.0], 0.02 * i as f64);
+                let pol = quat::from_axis_angle([0.0, 0.0, 1.0], 0.5 * i as f64);
+                Detector {
+                    name: format!("D{i:03}"),
+                    quat: quat::mul(fan, pol),
+                    pol_efficiency: 0.9 + 0.01 * (i % 10) as f64,
+                    noise_weight: 1.0 + 0.1 * i as f64,
+                    net: 1.0,
+                    fknee: 0.1,
+                    alpha: 1.0,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// A deterministic observation with a slowly precessing boresight, varied
+/// interval lengths (including a gap), and pseudo-random signal.
+pub fn test_workspace(n_det: usize, n_samp: usize, nside: u64) -> Workspace {
+    let fp = small_focal_plane(n_det);
+    // Varying interval lengths with gaps, exercising the padding paths.
+    let mut intervals = Vec::new();
+    let mut s = 0usize;
+    let mut len = n_samp / 7 + 1;
+    while s < n_samp {
+        let end = (s + len).min(n_samp);
+        intervals.push(Interval::new(s, end));
+        s = end + 3; // 3-sample gap
+        len = (len * 2 + 1) % (n_samp / 3 + 2) + 1;
+    }
+    let mut obs = Observation::new(&fp, n_samp, 19.0, intervals, 3);
+
+    // Precessing boresight: spin about z composed with a tilted cone.
+    for i in 0..n_samp {
+        let t = i as f64 / n_samp as f64;
+        let spin = quat::from_axis_angle([0.0, 0.0, 1.0], 20.0 * t);
+        let prec = quat::from_axis_angle([0.0, 1.0, 0.0], 0.9 + 0.3 * (2.0 * t).sin());
+        let q = quat::mul(prec, spin);
+        obs.boresight[4 * i..4 * i + 4].copy_from_slice(&q);
+    }
+    // Deterministic irregular signal.
+    for (i, v) in obs.signal.iter_mut().enumerate() {
+        *v = ((i as f64 * 0.734).sin() * 13.0).fract() + (i % 11) as f64 * 0.1;
+    }
+
+    let geom = SkyGeometry {
+        nside: Nside::new(nside).unwrap(),
+        nest: false,
+        nnz: 3,
+    };
+    let mut ws = Workspace::new(obs, geom, (n_samp / 10).max(1));
+    // A structured input sky map.
+    for (p, v) in ws.sky_map.iter_mut().enumerate() {
+        *v = ((p % 17) as f64 - 8.0) * 0.25;
+    }
+    // Non-trivial amplitudes and preconditioner.
+    for (i, a) in ws.amplitudes.iter_mut().enumerate() {
+        *a = ((i * 7) % 13) as f64 * 0.3 - 1.0;
+    }
+    for (i, p) in ws.precond.iter_mut().enumerate() {
+        *p = 0.5 + ((i * 3) % 5) as f64 * 0.2;
+    }
+    ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_has_varied_intervals_and_gaps() {
+        let ws = test_workspace(3, 200, 8);
+        assert!(ws.obs.intervals.len() >= 2);
+        let lens: Vec<usize> = ws.obs.intervals.iter().map(|iv| iv.len()).collect();
+        assert!(
+            lens.windows(2).any(|w| w[0] != w[1]),
+            "interval lengths must vary: {lens:?}"
+        );
+        assert!(ws.obs.science_samples() < ws.obs.n_samples, "needs gaps");
+    }
+
+    #[test]
+    fn boresight_quats_are_unit() {
+        let ws = test_workspace(1, 64, 4);
+        for i in 0..64 {
+            let q = &ws.obs.boresight[4 * i..4 * i + 4];
+            let n = crate::quat::norm([q[0], q[1], q[2], q[3]]);
+            assert!((n - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Function-level timing with CSV export and comparison (paper § 3.2.3).
+//!
+//! TOAST ships a Python decorator that accumulates coarse per-function
+//! wall times, dumps them to CSV, and — the authors' "most significant
+//! productivity boost" — merges several CSVs into a comparative
+//! spreadsheet to spot operations where a port spends a suspect amount of
+//! time. This module is that tool: [`Timers`] accumulates named
+//! durations (wall-clock or simulated), [`Timers::to_csv`] exports, and
+//! [`compare`] merges runs side by side.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Accumulated timings for one run / one implementation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timers {
+    entries: BTreeMap<String, TimerEntry>,
+}
+
+/// One timer's accumulated state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimerEntry {
+    /// Number of start/stop cycles.
+    pub calls: u64,
+    /// Total seconds.
+    pub seconds: f64,
+}
+
+impl Timers {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `seconds` under `name` (for simulated durations).
+    pub fn add(&mut self, name: &str, seconds: f64) {
+        let e = self.entries.entry(name.to_string()).or_default();
+        e.calls += 1;
+        e.seconds += seconds;
+    }
+
+    /// Time a closure with the wall clock.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(name, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Import every per-label second from a simulation context.
+    pub fn absorb_context(&mut self, ctx: &accel_sim::Context) {
+        for (label, stat) in ctx.stats() {
+            let e = self.entries.entry(label.clone()).or_default();
+            e.calls += stat.calls;
+            e.seconds += stat.seconds;
+        }
+    }
+
+    /// Look up one entry.
+    pub fn get(&self, name: &str) -> Option<TimerEntry> {
+        self.entries.get(name).copied()
+    }
+
+    /// All entries, sorted by name.
+    pub fn entries(&self) -> &BTreeMap<String, TimerEntry> {
+        &self.entries
+    }
+
+    /// Sum of all timers.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.values().map(|e| e.seconds).sum()
+    }
+
+    /// Serialise as `name,calls,seconds` CSV (the TOAST dump format).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,calls,seconds\n");
+        for (name, e) in &self.entries {
+            out.push_str(&format!("{name},{},{:.9}\n", e.calls, e.seconds));
+        }
+        out
+    }
+
+    /// Parse the CSV format produced by [`Timers::to_csv`].
+    pub fn from_csv(csv: &str) -> Result<Self, String> {
+        let mut timers = Timers::new();
+        for (i, line) in csv.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.rsplitn(3, ',');
+            let seconds: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {i}: missing seconds"))?
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {i}: bad seconds: {e}"))?;
+            let calls: u64 = parts
+                .next()
+                .ok_or_else(|| format!("line {i}: missing calls"))?
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {i}: bad calls: {e}"))?;
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {i}: missing name"))?;
+            let e = timers.entries.entry(name.to_string()).or_default();
+            e.calls += calls;
+            e.seconds += seconds;
+        }
+        Ok(timers)
+    }
+}
+
+/// Merge several runs into a comparative table: one row per timer name,
+/// one column per run, missing values empty — the "comparative
+/// spreadsheet" of § 3.2.3.
+pub fn compare(runs: &[(&str, &Timers)]) -> String {
+    let mut names: Vec<&String> = Vec::new();
+    for (_, t) in runs {
+        for name in t.entries().keys() {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+
+    let mut out = String::from("name");
+    for (label, _) in runs {
+        out.push_str(&format!(",{label}"));
+    }
+    out.push('\n');
+    for name in names {
+        out.push_str(name);
+        for (_, t) in runs {
+            match t.get(name) {
+                Some(e) => out.push_str(&format!(",{:.9}", e.seconds)),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_lookup() {
+        let mut t = Timers::new();
+        t.add("scan_map", 1.5);
+        t.add("scan_map", 0.5);
+        t.add("io", 3.0);
+        let e = t.get("scan_map").unwrap();
+        assert_eq!(e.calls, 2);
+        assert_eq!(e.seconds, 2.0);
+        assert_eq!(t.total_seconds(), 5.0);
+    }
+
+    #[test]
+    fn wall_clock_timing_is_positive() {
+        let mut t = Timers::new();
+        let v = t.time("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(v > 0);
+        assert!(t.get("spin").unwrap().seconds > 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Timers::new();
+        t.add("a", 1.25);
+        t.add("b,with,commas", 2.5); // names may contain commas (rsplit)
+        let csv = t.to_csv();
+        let back = Timers::from_csv(&csv).unwrap();
+        assert_eq!(back.get("a").unwrap().seconds, 1.25);
+        assert_eq!(back.get("b,with,commas").unwrap().seconds, 2.5);
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage() {
+        assert!(Timers::from_csv("name,calls,seconds\nx,notanumber,1.0").is_err());
+        assert!(Timers::from_csv("name,calls,seconds\nx,1,notanumber").is_err());
+    }
+
+    #[test]
+    fn comparison_aligns_rows() {
+        let mut cpu = Timers::new();
+        cpu.add("scan_map", 10.0);
+        cpu.add("io", 1.0);
+        let mut gpu = Timers::new();
+        gpu.add("scan_map", 0.5);
+        gpu.add("accel_data_update_device", 0.2);
+        let table = compare(&[("cpu", &cpu), ("gpu", &gpu)]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines[0], "name,cpu,gpu");
+        assert!(lines.iter().any(|l| l.starts_with("scan_map,10.0")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("accel_data_update_device,,0.2")));
+        assert!(lines.iter().any(|l| l.starts_with("io,1.0") && l.ends_with(',')));
+    }
+
+    #[test]
+    fn absorbs_simulation_stats() {
+        let mut ctx = accel_sim::Context::new(accel_sim::NodeCalib::default());
+        ctx.host_compute("serial", 2.0);
+        let mut t = Timers::new();
+        t.absorb_context(&ctx);
+        assert_eq!(t.get("serial").unwrap().seconds, 2.0);
+    }
+}

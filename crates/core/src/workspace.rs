@@ -1,0 +1,223 @@
+//! The per-rank workspace: every buffer the benchmark kernels touch.
+//!
+//! TOAST scopes kernel data to observations plus pipeline-level products
+//! (sky maps, template amplitudes). A [`Workspace`] bundles one rank's
+//! share of all of it, so kernels and the hybrid pipeline have a single
+//! well-typed root instead of a string-keyed blackboard.
+
+use crate::data::{Observation, SkyGeometry};
+
+/// Identifier of every buffer the kernels read or write — the vocabulary
+/// of the pipeline's data-movement layer (paper § 3.2.2: "each operator
+/// includes … a list of input and output data it handles").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BufferId {
+    /// Boresight quaternions `[n_samp × 4]`.
+    Boresight,
+    /// Focal-plane offset quaternions `[n_det × 4]`.
+    FpQuats,
+    /// Per-detector inverse-variance weights `[n_det]`.
+    DetWeights,
+    /// Per-detector polarisation efficiencies `[n_det]`.
+    DetEpsilon,
+    /// Detector timestreams `[n_det × n_samp]`.
+    Signal,
+    /// Expanded detector pointing `[n_det × n_samp × 4]`.
+    Quats,
+    /// Pixel indices `[n_det × n_samp]`.
+    Pixels,
+    /// Stokes weights `[n_det × n_samp × nnz]`.
+    Weights,
+    /// Input sky map `[n_pix × nnz]`.
+    SkyMap,
+    /// Accumulated noise-weighted map `[n_pix × nnz]`.
+    ZMap,
+    /// Template offset amplitudes `[n_det × n_amp]`.
+    Amplitudes,
+    /// Projected amplitudes `[n_det × n_amp]`.
+    AmpOut,
+    /// Diagonal preconditioner `[n_det × n_amp]`.
+    Precond,
+}
+
+impl BufferId {
+    /// All buffer ids, for iteration.
+    pub const ALL: [BufferId; 13] = [
+        BufferId::Boresight,
+        BufferId::FpQuats,
+        BufferId::DetWeights,
+        BufferId::DetEpsilon,
+        BufferId::Signal,
+        BufferId::Quats,
+        BufferId::Pixels,
+        BufferId::Weights,
+        BufferId::SkyMap,
+        BufferId::ZMap,
+        BufferId::Amplitudes,
+        BufferId::AmpOut,
+        BufferId::Precond,
+    ];
+
+    /// Whether the buffer holds i64 data.
+    pub fn is_integer(self) -> bool {
+        matches!(self, BufferId::Pixels)
+    }
+}
+
+/// One rank's complete kernel working set.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// The observation (timestreams, pointing, intervals).
+    pub obs: Observation,
+    /// Sky pixelisation.
+    pub geom: SkyGeometry,
+    /// Input sky map, `[n_pix × nnz]`.
+    pub sky_map: Vec<f64>,
+    /// Noise-weighted output map, `[n_pix × nnz]`.
+    pub zmap: Vec<f64>,
+    /// Samples per template offset step.
+    pub step_length: usize,
+    /// Offset amplitudes per detector.
+    pub n_amp: usize,
+    /// Template amplitudes, `[n_det × n_amp]`.
+    pub amplitudes: Vec<f64>,
+    /// Projection output, `[n_det × n_amp]`.
+    pub amp_out: Vec<f64>,
+    /// Diagonal preconditioner, `[n_det × n_amp]`.
+    pub precond: Vec<f64>,
+}
+
+impl Workspace {
+    /// Allocate a workspace for `obs` with `step_length` samples per
+    /// template offset step.
+    pub fn new(obs: Observation, geom: SkyGeometry, step_length: usize) -> Self {
+        assert!(step_length > 0, "step_length must be positive");
+        let n_amp = obs.n_samples.div_ceil(step_length);
+        let n_det = obs.n_det;
+        Self {
+            obs,
+            geom,
+            sky_map: vec![0.0; geom.map_len()],
+            zmap: vec![0.0; geom.map_len()],
+            step_length,
+            n_amp,
+            amplitudes: vec![0.0; n_det * n_amp],
+            amp_out: vec![0.0; n_det * n_amp],
+            precond: vec![1.0; n_det * n_amp],
+        }
+    }
+
+    /// Byte size of a buffer (for transfer/residency accounting).
+    pub fn byte_len(&self, id: BufferId) -> u64 {
+        let elems = match id {
+            BufferId::Boresight => self.obs.boresight.len(),
+            BufferId::FpQuats => self.obs.fp_quats.len(),
+            BufferId::DetWeights => self.obs.det_weights.len(),
+            BufferId::DetEpsilon => self.obs.det_epsilon.len(),
+            BufferId::Signal => self.obs.signal.len(),
+            BufferId::Quats => self.obs.quats.len(),
+            BufferId::Pixels => self.obs.pixels.len(),
+            BufferId::Weights => self.obs.weights.len(),
+            BufferId::SkyMap => self.sky_map.len(),
+            BufferId::ZMap => self.zmap.len(),
+            BufferId::Amplitudes => self.amplitudes.len(),
+            BufferId::AmpOut => self.amp_out.len(),
+            BufferId::Precond => self.precond.len(),
+        };
+        (elems * 8) as u64
+    }
+
+    /// f64 view of a buffer; panics for [`BufferId::Pixels`].
+    pub fn f64_slice(&self, id: BufferId) -> &[f64] {
+        match id {
+            BufferId::Boresight => &self.obs.boresight,
+            BufferId::FpQuats => &self.obs.fp_quats,
+            BufferId::DetWeights => &self.obs.det_weights,
+            BufferId::DetEpsilon => &self.obs.det_epsilon,
+            BufferId::Signal => &self.obs.signal,
+            BufferId::Quats => &self.obs.quats,
+            BufferId::Weights => &self.obs.weights,
+            BufferId::SkyMap => &self.sky_map,
+            BufferId::ZMap => &self.zmap,
+            BufferId::Amplitudes => &self.amplitudes,
+            BufferId::AmpOut => &self.amp_out,
+            BufferId::Precond => &self.precond,
+            BufferId::Pixels => panic!("Pixels is an i64 buffer"),
+        }
+    }
+
+    /// Mutable f64 view of a buffer; panics for [`BufferId::Pixels`].
+    pub fn f64_slice_mut(&mut self, id: BufferId) -> &mut [f64] {
+        match id {
+            BufferId::Boresight => &mut self.obs.boresight,
+            BufferId::FpQuats => &mut self.obs.fp_quats,
+            BufferId::DetWeights => &mut self.obs.det_weights,
+            BufferId::DetEpsilon => &mut self.obs.det_epsilon,
+            BufferId::Signal => &mut self.obs.signal,
+            BufferId::Quats => &mut self.obs.quats,
+            BufferId::Weights => &mut self.obs.weights,
+            BufferId::SkyMap => &mut self.sky_map,
+            BufferId::ZMap => &mut self.zmap,
+            BufferId::Amplitudes => &mut self.amplitudes,
+            BufferId::AmpOut => &mut self.amp_out,
+            BufferId::Precond => &mut self.precond,
+            BufferId::Pixels => panic!("Pixels is an i64 buffer"),
+        }
+    }
+
+    /// Total bytes of all buffers (a rank's data footprint).
+    pub fn total_bytes(&self) -> u64 {
+        BufferId::ALL.iter().map(|&id| self.byte_len(id)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{FocalPlane, Interval};
+    use crate::testutil::small_focal_plane;
+    use toast_healpix::Nside;
+
+    fn ws(n_det: usize, n_samp: usize) -> Workspace {
+        let fp: FocalPlane = small_focal_plane(n_det);
+        let obs = Observation::new(&fp, n_samp, 10.0, vec![Interval::new(0, n_samp)], 3);
+        let geom = SkyGeometry {
+            nside: Nside::new(8).unwrap(),
+            nest: false,
+            nnz: 3,
+        };
+        Workspace::new(obs, geom, 10)
+    }
+
+    #[test]
+    fn amplitude_count_rounds_up() {
+        let w = ws(2, 95);
+        assert_eq!(w.n_amp, 10);
+        assert_eq!(w.amplitudes.len(), 20);
+    }
+
+    #[test]
+    fn byte_lengths_match_slices() {
+        let w = ws(3, 50);
+        for id in BufferId::ALL {
+            if id.is_integer() {
+                assert_eq!(w.byte_len(id), (w.obs.pixels.len() * 8) as u64);
+            } else {
+                assert_eq!(w.byte_len(id), (w.f64_slice(id).len() * 8) as u64);
+            }
+        }
+        assert!(w.total_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "i64 buffer")]
+    fn pixels_is_not_f64() {
+        ws(1, 10).f64_slice(BufferId::Pixels);
+    }
+
+    #[test]
+    fn precond_defaults_to_identity() {
+        let w = ws(2, 30);
+        assert!(w.precond.iter().all(|&p| p == 1.0));
+    }
+}

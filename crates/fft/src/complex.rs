@@ -1,0 +1,148 @@
+//! A minimal double-precision complex number.
+//!
+//! Only the operations the transform and the PSD synthesis need — keeping
+//! the type local avoids an external dependency and keeps it `Copy` and
+//! 16 bytes, which matters for FFT working-set bandwidth.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex number `re + i·im` in double precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Self = Self::new(0.0, 0.0);
+
+    /// The multiplicative identity.
+    pub const ONE: Self = Self::new(1.0, 0.0);
+
+    /// `e^{iθ}` — a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn field_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z + (-z), Complex::ZERO);
+        assert_eq!(z.abs(), 5.0);
+    }
+
+    #[test]
+    fn multiplication_matches_polar() {
+        let a = Complex::cis(0.3).scale(2.0);
+        let b = Complex::cis(0.5).scale(3.0);
+        let p = a * b;
+        assert!((p.abs() - 6.0).abs() < 1e-12);
+        assert!((p.im.atan2(p.re) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex::new(1.5, 2.5);
+        assert_eq!(z.conj().conj(), z);
+        let zz = z * z.conj();
+        assert!((zz.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(zz.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_full_turn() {
+        let z = Complex::cis(2.0 * PI);
+        assert!((z.re - 1.0).abs() < 1e-12);
+        assert!(z.im.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Power-spectral-density models and FFT-based noise synthesis.
+//!
+//! CMB detectors exhibit `1/f + white` noise. TOAST simulates a detector's
+//! noise timestream by colouring unit Gaussian Fourier coefficients with
+//! the square root of the detector PSD and transforming to the time
+//! domain; this module reimplements that scheme.
+
+use crate::complex::Complex;
+use crate::transform::ifft;
+
+/// A `1/f + white` noise power spectral density:
+///
+/// `P(f) = net² · (1 + (f_knee / f)^alpha)`, flattened below `f_min`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Psd {
+    /// White-noise level (noise-equivalent temperature per √Hz).
+    pub net: f64,
+    /// Knee frequency in Hz where the 1/f component equals the white level.
+    pub fknee: f64,
+    /// Spectral slope of the low-frequency component (typically 1–2).
+    pub alpha: f64,
+    /// Minimum frequency: the PSD is held constant below this, bounding the
+    /// divergence at `f → 0`.
+    pub fmin: f64,
+}
+
+impl Psd {
+    /// A pure white-noise PSD.
+    pub fn white(net: f64) -> Self {
+        Self {
+            net,
+            fknee: 0.0,
+            alpha: 1.0,
+            fmin: 1e-5,
+        }
+    }
+
+    /// Evaluate the PSD at frequency `f` (Hz), in units of `net²`/Hz.
+    pub fn eval(&self, f: f64) -> f64 {
+        let f = f.max(self.fmin);
+        if self.fknee <= 0.0 {
+            return self.net * self.net;
+        }
+        self.net * self.net * (1.0 + (self.fknee / f).powf(self.alpha))
+    }
+}
+
+/// Synthesise `n` samples of real noise with spectral density `psd` at
+/// sample rate `rate` Hz.
+///
+/// `gauss(i)` must return the `i`-th variate of a unit Gaussian stream;
+/// passing a counter-based stream makes the synthesis reproducible. Two
+/// variates are consumed per positive-frequency bin.
+///
+/// `n` must be a power of two.
+pub fn synthesize_noise(psd: &Psd, rate: f64, n: usize, mut gauss: impl FnMut(u64) -> f64) -> Vec<f64> {
+    assert!(n.is_power_of_two(), "noise length {n} is not a power of two");
+    assert!(rate > 0.0);
+    if n == 1 {
+        return vec![psd.eval(rate / 2.0).sqrt() * rate.sqrt() * gauss(0)];
+    }
+
+    let mut spec = vec![Complex::ZERO; n];
+    let df = rate / n as f64;
+    // Scaling such that <|X_k|^2> = P(f_k) * rate * n / 2 for complex bins,
+    // which makes the time-domain variance equal the PSD integral.
+    for k in 1..n / 2 {
+        let f = k as f64 * df;
+        let sigma = (psd.eval(f) * rate * n as f64 / 2.0).sqrt();
+        let g1 = gauss(2 * k as u64);
+        let g2 = gauss(2 * k as u64 + 1);
+        let z = Complex::new(g1, g2).scale(sigma * std::f64::consts::FRAC_1_SQRT_2);
+        spec[k] = z;
+        spec[n - k] = z.conj(); // Hermitian symmetry ⇒ real output
+    }
+    // DC: zero-mean noise. Nyquist: purely real.
+    spec[0] = Complex::ZERO;
+    let fnyq = rate / 2.0;
+    spec[n / 2] = Complex::new(
+        (psd.eval(fnyq) * rate * n as f64 / 2.0).sqrt() * gauss(1),
+        0.0,
+    );
+
+    ifft(&mut spec);
+    spec.into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cheap deterministic gaussian stream for tests (sum of 12 hashed
+    /// uniforms — splitmix64 decorrelates consecutive indices).
+    fn test_gauss(i: u64) -> f64 {
+        fn splitmix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let mut acc = 0.0;
+        for j in 0..12u64 {
+            acc += (splitmix(i * 12 + j) >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        acc - 6.0
+    }
+
+    #[test]
+    fn psd_white_is_flat() {
+        let psd = Psd::white(2.0);
+        assert_eq!(psd.eval(0.01), 4.0);
+        assert_eq!(psd.eval(10.0), 4.0);
+    }
+
+    #[test]
+    fn psd_one_over_f_doubles_at_knee() {
+        let psd = Psd {
+            net: 1.0,
+            fknee: 0.1,
+            alpha: 1.0,
+            fmin: 1e-6,
+        };
+        assert!((psd.eval(0.1) - 2.0).abs() < 1e-12);
+        // Far above the knee → white level.
+        assert!((psd.eval(100.0) - 1.0).abs() < 1e-2);
+        // Below the knee the PSD rises.
+        assert!(psd.eval(0.01) > psd.eval(0.1));
+    }
+
+    #[test]
+    fn psd_fmin_bounds_divergence() {
+        let psd = Psd {
+            net: 1.0,
+            fknee: 1.0,
+            alpha: 2.0,
+            fmin: 0.01,
+        };
+        assert_eq!(psd.eval(1e-9), psd.eval(0.01));
+    }
+
+    #[test]
+    fn noise_is_real_and_zero_mean() {
+        let psd = Psd::white(1.0);
+        let noise = synthesize_noise(&psd, 10.0, 4096, test_gauss);
+        assert_eq!(noise.len(), 4096);
+        let mean: f64 = noise.iter().sum::<f64>() / 4096.0;
+        // DC bin is zeroed, so the sample mean is exactly ~0 up to fp error.
+        assert!(mean.abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn white_noise_variance_matches_psd_integral() {
+        // For white noise, variance = NET² · (rate / 2).
+        let net = 3.0;
+        let rate = 8.0;
+        let psd = Psd::white(net);
+        let n = 1 << 14;
+        let noise = synthesize_noise(&psd, rate, n, test_gauss);
+        let var: f64 = noise.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        let expected = net * net * rate / 2.0;
+        let rel = (var - expected).abs() / expected;
+        assert!(rel < 0.1, "var {var} vs expected {expected}");
+    }
+
+    #[test]
+    fn one_over_f_noise_has_more_low_frequency_power() {
+        let psd = Psd {
+            net: 1.0,
+            fknee: 1.0,
+            alpha: 1.5,
+            fmin: 1e-4,
+        };
+        let n = 1 << 12;
+        let noise = synthesize_noise(&psd, 10.0, n, test_gauss);
+        let spec = crate::transform::rfft_forward(&noise);
+        // Average power in the lowest decade of bins vs a high decade.
+        let low: f64 = (1..20).map(|k| spec[k].norm_sqr()).sum::<f64>() / 19.0;
+        let high: f64 = (n / 2 - 200..n / 2).map(|k| spec[k].norm_sqr()).sum::<f64>() / 200.0;
+        assert!(low > 4.0 * high, "low {low} high {high}");
+    }
+
+    #[test]
+    fn synthesis_is_reproducible() {
+        let psd = Psd::white(1.0);
+        let a = synthesize_noise(&psd, 5.0, 256, test_gauss);
+        let b = synthesize_noise(&psd, 5.0, 256, test_gauss);
+        assert_eq!(a, b);
+    }
+}

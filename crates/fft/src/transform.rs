@@ -1,0 +1,214 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! In-place, decimation-in-time, with an explicit bit-reversal permutation
+//! pass followed by `log2(n)` butterfly stages. Twiddle factors are
+//! generated per stage from a single `cis` call and updated by complex
+//! multiplication, which keeps the inner loop free of trigonometry.
+
+use crate::complex::Complex;
+
+/// Forward DFT, in place. `data.len()` must be a power of two.
+///
+/// Uses the physics sign convention `X_k = Σ_n x_n e^{-2πi kn/N}` and no
+/// normalisation (matching FFTW's `FFTW_FORWARD`).
+pub fn fft(data: &mut [Complex]) {
+    transform(data, -1.0);
+}
+
+/// Inverse DFT, in place, *including* the `1/N` normalisation so that
+/// `ifft(fft(x)) == x`.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, 1.0);
+    let scale = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+///
+/// Convenience wrapper: the spectrum is Hermitian
+/// (`X[N-k] == conj(X[k])`), which [`crate::psd::synthesize_noise`] relies
+/// on in reverse to build real noise.
+pub fn rfft_forward(signal: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft(&mut data);
+    data
+}
+
+fn transform(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    bit_reverse_permute(data);
+
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            let mut w = Complex::ONE;
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Permute `data` into bit-reversed index order.
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let shift = usize::BITS - n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) reference DFT used to validate the fast transform.
+    fn dft_reference(x: &[Complex], sign: f64) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &xj) in x.iter().enumerate() {
+                    let ang = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += xj * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn pseudo_signal(n: usize, seed: u64) -> Vec<Complex> {
+        // Deterministic, irregular test data without pulling in a RNG dep.
+        (0..n)
+            .map(|i| {
+                let a = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33)
+                    as f64
+                    / (1u64 << 31) as f64;
+                let b = ((i as u64).wrapping_mul(1442695040888963407).wrapping_add(seed) >> 33)
+                    as f64
+                    / (1u64 << 31) as f64;
+                Complex::new(a - 1.0, b - 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let signal = pseudo_signal(n, 42);
+            let expected = dft_reference(&signal, -1.0);
+            let mut fast = signal.clone();
+            fft(&mut fast);
+            for (k, (e, f)) in expected.iter().zip(&fast).enumerate() {
+                assert!(
+                    (e.re - f.re).abs() < 1e-9 && (e.im - f.im).abs() < 1e-9,
+                    "n={n} bin {k}: {e:?} vs {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for &n in &[2usize, 8, 128, 1024] {
+            let signal = pseudo_signal(n, 7);
+            let mut s = signal.clone();
+            fft(&mut s);
+            ifft(&mut s);
+            for (a, b) in signal.iter().zip(&s) {
+                assert!((a.re - b.re).abs() < 1e-10);
+                assert!((a.im - b.im).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 32];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        // e^{+2πi k0 n / N} concentrates in bin k0 under the e^{-...}
+        // forward convention.
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        fft(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((z.re - n as f64).abs() < 1e-9, "bin {k}: {z:?}");
+            } else {
+                assert!(z.abs() < 1e-9, "bin {k} leaked: {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let signal = pseudo_signal(256, 99);
+        let time_energy: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = signal.clone();
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = pseudo_signal(64, 1);
+        let b = pseudo_signal(64, 2);
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let (mut fa, mut fb, mut fsum) = (a, b, sum);
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fsum);
+        for ((x, y), s) in fa.iter().zip(&fb).zip(&fsum) {
+            let lhs = *x + *y;
+            assert!((lhs.re - s.re).abs() < 1e-9 && (lhs.im - s.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_hermitian() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 37) % 41) as f64 - 20.0).collect();
+        let spec = rfft_forward(&signal);
+        for k in 1..64 {
+            let a = spec[k];
+            let b = spec[128 - k].conj();
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+}

@@ -1,0 +1,104 @@
+//! Spherical-coordinate helpers shared by both pixelisation orderings.
+//!
+//! Conventions follow the HEALPix primer: colatitude `theta` in `[0, π]`
+//! measured from the north pole, longitude `phi` in `[0, 2π)` increasing
+//! eastward.
+
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Convert `(theta, phi)` to a unit vector `(x, y, z)`.
+#[inline]
+pub fn ang2vec(theta: f64, phi: f64) -> [f64; 3] {
+    let st = theta.sin();
+    [st * phi.cos(), st * phi.sin(), theta.cos()]
+}
+
+/// Convert a (not necessarily normalised) vector to `(theta, phi)` with
+/// `phi` wrapped into `[0, 2π)`.
+#[inline]
+pub fn vec2ang(v: [f64; 3]) -> (f64, f64) {
+    let norm = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    let theta = if norm == 0.0 {
+        0.0
+    } else {
+        (v[2] / norm).clamp(-1.0, 1.0).acos()
+    };
+    let mut phi = v[1].atan2(v[0]);
+    if phi < 0.0 {
+        phi += 2.0 * PI;
+    }
+    (theta, phi)
+}
+
+/// Reduce `phi` to `tt = phi / (π/2) mod 4`, the longitude coordinate both
+/// `ang2pix` algorithms work in.
+#[inline]
+pub(crate) fn phi_to_tt(phi: f64) -> f64 {
+    let mut tt = phi / FRAC_PI_2;
+    tt %= 4.0;
+    if tt < 0.0 {
+        tt += 4.0;
+    }
+    tt
+}
+
+/// Great-circle angular distance between two unit vectors, in radians.
+#[inline]
+pub fn angdist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let dot = (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]).clamp(-1.0, 1.0);
+    dot.acos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ang_vec() {
+        for &(theta, phi) in &[
+            (0.0, 0.0),
+            (PI / 2.0, 0.0),
+            (PI / 2.0, PI),
+            (1.0, 2.0),
+            (2.5, 5.9),
+            (PI, 0.0),
+        ] {
+            let v = ang2vec(theta, phi);
+            let (t2, p2) = vec2ang(v);
+            assert!((theta - t2).abs() < 1e-12, "theta {theta} -> {t2}");
+            // phi is undefined at the poles.
+            if theta > 1e-9 && theta < PI - 1e-9 {
+                let dp = (phi - p2).rem_euclid(2.0 * PI);
+                assert!(dp < 1e-9 || (2.0 * PI - dp) < 1e-9, "phi {phi} -> {p2}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_norm() {
+        let v = ang2vec(1.1, 4.4);
+        let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+        assert!((n - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tt_wraps_into_zero_four() {
+        assert!((phi_to_tt(0.0) - 0.0).abs() < 1e-15);
+        assert!((phi_to_tt(FRAC_PI_2) - 1.0).abs() < 1e-12);
+        assert!((phi_to_tt(-FRAC_PI_2) - 3.0).abs() < 1e-12);
+        assert!((phi_to_tt(2.0 * PI + 0.1) - 0.1 / FRAC_PI_2).abs() < 1e-12);
+        for i in -20..20 {
+            let tt = phi_to_tt(i as f64);
+            assert!((0.0..4.0).contains(&tt), "{tt}");
+        }
+    }
+
+    #[test]
+    fn angdist_basics() {
+        let x = [1.0, 0.0, 0.0];
+        let y = [0.0, 1.0, 0.0];
+        assert!((angdist(x, y) - PI / 2.0).abs() < 1e-14);
+        assert!(angdist(x, x) < 1e-7);
+        assert!((angdist(x, [-1.0, 0.0, 0.0]) - PI).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,180 @@
+//! Conversions between NESTED and RING pixel orderings.
+//!
+//! Both directions use the face-geometry tables of the reference HEALPix
+//! implementation: `JRLL` gives each base face's ring offset, `JPLL` its
+//! longitude offset in units of π/4.
+
+use crate::{isqrt, Nside};
+
+/// Ring offset of each base face (rings counted from the north pole in
+/// units of `nside`).
+const JRLL: [u64; 12] = [2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4];
+
+/// Longitude offset of each base face in units of π/4.
+const JPLL: [i64; 12] = [1, 3, 5, 7, 0, 2, 4, 6, 1, 3, 5, 7];
+
+/// Convert a NESTED pixel index to the equivalent RING index.
+pub fn nest2ring(nside: Nside, pix: u64) -> u64 {
+    debug_assert!(pix < nside.npix());
+    let n = nside.get() as i64;
+    let (face, ix, iy) = crate::nest::nest2fxy(nside, pix);
+    let (ix, iy) = (ix as i64, iy as i64);
+
+    // Ring number counted from the north pole, 1 ..= 4*nside - 1.
+    let jr = JRLL[face as usize] as i64 * n - ix - iy - 1;
+
+    let (nr, start, kshift) = if jr < n {
+        // North polar cap.
+        let nr = jr;
+        (nr, 2 * nr * (nr - 1), 0)
+    } else if jr > 3 * n {
+        // South polar cap.
+        let nr = 4 * n - jr;
+        (nr, nside.npix() as i64 - 2 * nr * (nr + 1), 0)
+    } else {
+        // Equatorial belt.
+        (
+            n,
+            nside.ncap() as i64 + (jr - n) * 4 * n,
+            (jr - n) & 1,
+        )
+    };
+
+    let mut jp = (JPLL[face as usize] * nr + ix - iy + 1 + kshift) / 2;
+    if jp > 4 * nr {
+        jp -= 4 * nr;
+    }
+    if jp < 1 {
+        jp += 4 * nr;
+    }
+    (start + jp - 1) as u64
+}
+
+/// Convert a RING pixel index to the equivalent NESTED index.
+pub fn ring2nest(nside: Nside, pix: u64) -> u64 {
+    debug_assert!(pix < nside.npix());
+    let n = nside.get() as i64;
+    let npix = nside.npix() as i64;
+    let ncap = nside.ncap() as i64;
+    let p = pix as i64;
+
+    // Recover (ring from north, longitude index 1-based, ring length unit,
+    // shift, face).
+    let (iring, iphi, kshift, nr, face): (i64, i64, i64, i64, i64);
+    if p < ncap {
+        // North polar cap.
+        let ir = ((1 + isqrt(1 + 2 * pix)) >> 1) as i64;
+        iring = ir;
+        iphi = p + 1 - 2 * ir * (ir - 1);
+        kshift = 0;
+        nr = ir;
+        face = (iphi - 1) / nr;
+    } else if p < npix - ncap {
+        // Equatorial belt.
+        let ip = p - ncap;
+        let ir = ip / (4 * n) + n;
+        iring = ir;
+        iphi = ip % (4 * n) + 1;
+        kshift = (ir + n) & 1;
+        nr = n;
+        let ire = ir - n + 1;
+        let irm = 2 * n + 2 - ire;
+        let ifm = (iphi - ire / 2 + n - 1) / n;
+        let ifp = (iphi - irm / 2 + n - 1) / n;
+        face = if ifp == ifm {
+            ifp | 4
+        } else if ifp < ifm {
+            ifp
+        } else {
+            ifm + 8
+        };
+    } else {
+        // South polar cap.
+        let ip = npix - p;
+        let ir = ((1 + isqrt((2 * ip - 1) as u64)) >> 1) as i64;
+        iring = 4 * n - ir;
+        iphi = 4 * ir + 1 - (ip - 2 * ir * (ir - 1));
+        kshift = 0;
+        nr = ir;
+        face = 8 + (iphi - 1) / nr;
+    }
+
+    let irt = iring - JRLL[face as usize] as i64 * n + 1; // in [-nside+1, 0]
+    let mut ipt = 2 * iphi - JPLL[face as usize] * nr - kshift - 1;
+    if ipt >= 2 * n {
+        ipt -= 8 * n;
+    }
+    let ix = (ipt - irt) >> 1;
+    let iy = (-ipt - irt) >> 1;
+    crate::nest::fxy2nest(nside, face as u64, ix as u64, iy as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::ang2pix_nest;
+    use crate::ring::ang2pix_ring;
+    use std::f64::consts::PI;
+
+    fn nside(n: u64) -> Nside {
+        Nside::new(n).unwrap()
+    }
+
+    #[test]
+    fn nest2ring_is_a_bijection() {
+        for n in [1u64, 2, 4, 8, 16] {
+            let ns = nside(n);
+            let mut seen = vec![false; ns.npix() as usize];
+            for pix in 0..ns.npix() {
+                let r = nest2ring(ns, pix) as usize;
+                assert!(!seen[r], "nside {n}: ring pixel {r} hit twice");
+                seen[r] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn ring2nest_inverts_nest2ring() {
+        for n in [1u64, 2, 4, 8, 16, 32] {
+            let ns = nside(n);
+            for pix in 0..ns.npix() {
+                assert_eq!(
+                    ring2nest(ns, nest2ring(ns, pix)),
+                    pix,
+                    "nside {n} pix {pix}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_two_ang2pix_algorithms_agree() {
+        // ang2pix_ring and ang2pix_nest are implemented independently;
+        // chained through nest2ring they must coincide everywhere.
+        for n in [1u64, 4, 16, 128] {
+            let ns = nside(n);
+            let mut theta: f64 = 0.001;
+            while theta < PI {
+                let mut phi = 0.0;
+                while phi < 2.0 * PI {
+                    let via_ring = ang2pix_ring(ns, theta, phi);
+                    let via_nest = nest2ring(ns, ang2pix_nest(ns, theta, phi));
+                    assert_eq!(via_ring, via_nest, "nside {n} theta {theta} phi {phi}");
+                    phi += 0.1731;
+                }
+                theta += 0.0917;
+            }
+        }
+    }
+
+    #[test]
+    fn nside_one_orderings_coincide() {
+        // At nside = 1 the two orderings are identical by construction.
+        let ns = nside(1);
+        for pix in 0..12 {
+            assert_eq!(nest2ring(ns, pix), pix);
+            assert_eq!(ring2nest(ns, pix), pix);
+        }
+    }
+}

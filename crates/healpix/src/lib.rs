@@ -1,0 +1,161 @@
+//! HEALPix (Hierarchical Equal Area isoLatitude Pixelisation) of the sphere.
+//!
+//! From-scratch implementation of the pixelisation of Górski et al. (2005),
+//! covering what the TOAST `pixels_healpix` kernel and the map-making
+//! pipeline need:
+//!
+//! * [`ring::ang2pix_ring`] / [`nest::ang2pix_nest`] — angles → pixel index
+//!   in RING and NESTED ordering (two independent algorithms, cross-checked
+//!   against each other in the test suite),
+//! * [`ring::pix2ang_ring`] / [`nest::pix2ang_nest`] — pixel centres,
+//! * [`convert::nest2ring`] / [`convert::ring2nest`] — ordering conversion,
+//! * vector forms ([`ang::ang2vec`], [`ring::vec2pix_ring`], …).
+//!
+//! The resolution parameter `nside` must be a power of two; the sphere is
+//! divided into `12 * nside^2` equal-area pixels arranged on `4*nside - 1`
+//! iso-latitude rings.
+//!
+//! # Example
+//!
+//! ```
+//! use toast_healpix::{Nside, ring::ang2pix_ring};
+//!
+//! let nside = Nside::new(64).unwrap();
+//! // North pole lands in one of the four first-ring pixels.
+//! let pix = ang2pix_ring(nside, 1e-9, 0.3);
+//! assert!(pix < 4);
+//! ```
+
+pub mod ang;
+pub mod convert;
+pub mod nest;
+pub mod ring;
+
+/// Largest supported resolution parameter (matches the HEALPix C++ library:
+/// pixel indices stay well within `i64`).
+pub const NSIDE_MAX: u64 = 1 << 29;
+
+/// A validated HEALPix resolution parameter.
+///
+/// `Nside` is a power of two in `[1, 2^29]`. Constructing one up front lets
+/// the hot pixelisation kernels assume validity without re-checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Nside {
+    nside: u64,
+    /// log2(nside), cached for the NESTED bit arithmetic.
+    order: u32,
+}
+
+impl Nside {
+    /// Validate and wrap a resolution parameter.
+    pub fn new(nside: u64) -> Result<Self, InvalidNside> {
+        if nside == 0 || nside > NSIDE_MAX || !nside.is_power_of_two() {
+            return Err(InvalidNside(nside));
+        }
+        Ok(Self {
+            nside,
+            order: nside.trailing_zeros(),
+        })
+    }
+
+    /// The raw resolution parameter.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.nside
+    }
+
+    /// `log2(nside)`.
+    #[inline]
+    pub fn order(self) -> u32 {
+        self.order
+    }
+
+    /// Total number of pixels, `12 * nside^2`.
+    #[inline]
+    pub fn npix(self) -> u64 {
+        12 * self.nside * self.nside
+    }
+
+    /// Pixels in the (closed) north polar cap, `2 * nside * (nside - 1)`.
+    #[inline]
+    pub fn ncap(self) -> u64 {
+        2 * self.nside * (self.nside - 1)
+    }
+
+    /// Solid angle of one pixel in steradians (all pixels are equal-area).
+    #[inline]
+    pub fn pixel_area(self) -> f64 {
+        4.0 * std::f64::consts::PI / self.npix() as f64
+    }
+
+    /// Number of iso-latitude rings, `4 * nside - 1`.
+    #[inline]
+    pub fn nrings(self) -> u64 {
+        4 * self.nside - 1
+    }
+}
+
+/// Error returned by [`Nside::new`] for a non-power-of-two or out-of-range
+/// resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidNside(pub u64);
+
+impl std::fmt::Display for InvalidNside {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid nside {}: must be a power of two in [1, 2^29]",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidNside {}
+
+/// Integer square root of a `u64`, exact.
+#[inline]
+pub(crate) fn isqrt(v: u64) -> u64 {
+    let mut r = (v as f64).sqrt() as u64;
+    // Correct the float estimate (can be off by one either way near 2^53).
+    while r > 0 && r.checked_mul(r).map_or(true, |sq| sq > v) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).map_or(false, |sq| sq <= v) {
+        r += 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nside_validation() {
+        assert!(Nside::new(0).is_err());
+        assert!(Nside::new(3).is_err());
+        assert!(Nside::new(6).is_err());
+        assert!(Nside::new(NSIDE_MAX * 2).is_err());
+        for order in 0..=29 {
+            let n = Nside::new(1 << order).unwrap();
+            assert_eq!(n.order(), order);
+            assert_eq!(n.npix(), 12u64 << (2 * order));
+        }
+    }
+
+    #[test]
+    fn pixel_area_covers_sphere() {
+        let n = Nside::new(16).unwrap();
+        let total = n.pixel_area() * n.npix() as f64;
+        assert!((total - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for v in 0..10_000u64 {
+            let r = isqrt(v);
+            assert!(r * r <= v && (r + 1) * (r + 1) > v, "v={v} r={r}");
+        }
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! RING-ordered pixelisation: pixels are numbered along iso-latitude rings
+//! from north to south, which is the ordering map-making codes use because
+//! spherical-harmonic transforms walk rings.
+
+use crate::ang::phi_to_tt;
+use crate::{isqrt, Nside};
+
+/// Angles `(theta, phi)` → RING pixel index.
+///
+/// `theta` is the colatitude in `[0, π]`; `phi` is unrestricted (wrapped).
+pub fn ang2pix_ring(nside: Nside, theta: f64, phi: f64) -> u64 {
+    debug_assert!((0.0..=std::f64::consts::PI).contains(&theta));
+    zphi2pix_ring(nside, theta.cos(), phi)
+}
+
+/// `(z = cos θ, phi)` → RING pixel index.
+///
+/// The primitive entry point (the HEALPix C library's `vec2pix` also works
+/// in `z` directly): callers that already have a unit vector avoid the
+/// `acos`/`cos` round-trip, and the traced arrayjit reimplementation of
+/// `pixels_healpix` mirrors this function's operations one-for-one so the
+/// two agree bit-exactly.
+pub fn zphi2pix_ring(nside: Nside, z: f64, phi: f64) -> u64 {
+    debug_assert!((-1.0..=1.0).contains(&z));
+    let n = nside.get() as i64;
+    let za = z.abs();
+    let tt = phi_to_tt(phi);
+
+    if za <= 2.0 / 3.0 {
+        // Equatorial region: rings of constant length 4*nside.
+        let temp1 = n as f64 * (0.5 + tt);
+        let temp2 = n as f64 * (z * 0.75);
+        let jp = (temp1 - temp2) as i64; // ascending edge line index
+        let jm = (temp1 + temp2) as i64; // descending edge line index
+        let ir = n + 1 + jp - jm; // ring number, 1 ..= 2n+1
+        let kshift = 1 - (ir & 1);
+        // Floor division (not truncation): the sum can be -1 at the region
+        // boundary, and the traced arrayjit reimplementation of this kernel
+        // uses f64 floor — the two must agree bit-for-bit.
+        let mut ip = (jp + jm - n + kshift + 1).div_euclid(2);
+        ip = ip.rem_euclid(4 * n);
+        (nside.ncap() as i64 + (ir - 1) * 4 * n + ip) as u64
+    } else {
+        // Polar caps: ring `ir` (counted from the nearest pole) holds 4*ir
+        // pixels.
+        let tp = tt.fract();
+        let tmp = n as f64 * (3.0 * (1.0 - za)).sqrt();
+        let jp = (tp * tmp) as i64;
+        let jm = ((1.0 - tp) * tmp) as i64;
+        let ir = jp + jm + 1;
+        let mut ip = (tt * ir as f64) as i64;
+        ip = ip.rem_euclid(4 * ir);
+        if z > 0.0 {
+            (2 * ir * (ir - 1) + ip) as u64
+        } else {
+            (nside.npix() as i64 - 2 * ir * (ir + 1) + ip) as u64
+        }
+    }
+}
+
+/// Unit vector → RING pixel index (works in `z` directly, no `acos`).
+#[inline]
+pub fn vec2pix_ring(nside: Nside, v: [f64; 3]) -> u64 {
+    let norm = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    let z = (v[2] / norm).clamp(-1.0, 1.0);
+    let mut phi = v[1].atan2(v[0]);
+    if phi < 0.0 {
+        phi += 2.0 * std::f64::consts::PI;
+    }
+    zphi2pix_ring(nside, z, phi)
+}
+
+/// RING pixel index → centre `(theta, phi)`.
+pub fn pix2ang_ring(nside: Nside, pix: u64) -> (f64, f64) {
+    debug_assert!(pix < nside.npix());
+    let n = nside.get();
+    let npix = nside.npix();
+    let ncap = nside.ncap();
+    use std::f64::consts::PI;
+
+    if pix < ncap {
+        // North polar cap.
+        let iring = (1 + isqrt(1 + 2 * pix)) >> 1;
+        let iphi = (pix + 1) - 2 * iring * (iring - 1);
+        let z = 1.0 - (iring * iring) as f64 * (4.0 / npix as f64);
+        let phi = (iphi as f64 - 0.5) * PI / (2.0 * iring as f64);
+        (z.acos(), phi)
+    } else if pix < npix - ncap {
+        // Equatorial belt.
+        let ip = pix - ncap;
+        let iring = ip / (4 * n) + n;
+        let iphi = ip % (4 * n) + 1;
+        // Odd rings are shifted by half a pixel width.
+        let fodd = if (iring + n) & 1 == 1 { 1.0 } else { 0.5 };
+        let z = (2.0 * n as f64 - iring as f64) * 2.0 / (3.0 * n as f64);
+        let phi = (iphi as f64 - fodd) * PI / (2.0 * n as f64);
+        (z.acos(), phi)
+    } else {
+        // South polar cap.
+        let ip = npix - pix;
+        let iring = (1 + isqrt(2 * ip - 1)) >> 1;
+        let iphi = 4 * iring + 1 - (ip - 2 * iring * (iring - 1));
+        let z = -1.0 + (iring * iring) as f64 * (4.0 / npix as f64);
+        let phi = (iphi as f64 - 0.5) * PI / (2.0 * iring as f64);
+        (z.acos(), phi)
+    }
+}
+
+/// RING pixel index → unit vector at the pixel centre.
+#[inline]
+pub fn pix2vec_ring(nside: Nside, pix: u64) -> [f64; 3] {
+    let (theta, phi) = pix2ang_ring(nside, pix);
+    crate::ang::ang2vec(theta, phi)
+}
+
+/// Which iso-latitude ring (1-based, from the north pole) a RING pixel is
+/// on, plus its index within the ring and the ring length.
+pub fn ring_of(nside: Nside, pix: u64) -> RingInfo {
+    let n = nside.get();
+    let npix = nside.npix();
+    let ncap = nside.ncap();
+    if pix < ncap {
+        let iring = (1 + isqrt(1 + 2 * pix)) >> 1;
+        RingInfo {
+            ring: iring,
+            index: pix - 2 * iring * (iring - 1),
+            length: 4 * iring,
+        }
+    } else if pix < npix - ncap {
+        let ip = pix - ncap;
+        RingInfo {
+            ring: ip / (4 * n) + n,
+            index: ip % (4 * n),
+            length: 4 * n,
+        }
+    } else {
+        let ip = npix - pix;
+        let iring = (1 + isqrt(2 * ip - 1)) >> 1;
+        RingInfo {
+            ring: 4 * n - iring,
+            index: 4 * iring - (ip - 2 * iring * (iring - 1)),
+            length: 4 * iring,
+        }
+    }
+}
+
+/// Location of a pixel on its iso-latitude ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingInfo {
+    /// Ring number, 1-based from the north pole (`1 ..= 4*nside - 1`).
+    pub ring: u64,
+    /// Zero-based index within the ring.
+    pub index: u64,
+    /// Number of pixels on the ring.
+    pub length: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ang::ang2vec;
+    use std::f64::consts::PI;
+
+    fn nside(n: u64) -> Nside {
+        Nside::new(n).unwrap()
+    }
+
+    #[test]
+    fn poles_land_in_first_and_last_rings() {
+        for n in [1u64, 2, 4, 16, 256] {
+            let ns = nside(n);
+            for k in 0..8 {
+                let phi = k as f64 * PI / 4.0 + 0.01;
+                let p_north = ang2pix_ring(ns, 1e-12, phi);
+                assert!(p_north < 4, "nside {n} north pix {p_north}");
+                let p_south = ang2pix_ring(ns, PI - 1e-12, phi);
+                assert!(p_south >= ns.npix() - 4, "nside {n} south pix {p_south}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pixels_reachable_nside_small() {
+        // Pixel centres map back to themselves, covering every pixel.
+        for n in [1u64, 2, 4, 8] {
+            let ns = nside(n);
+            for pix in 0..ns.npix() {
+                let (theta, phi) = pix2ang_ring(ns, pix);
+                assert_eq!(ang2pix_ring(ns, theta, phi), pix, "nside {n} pix {pix}");
+            }
+        }
+    }
+
+    #[test]
+    fn equator_ring_is_centered() {
+        // Query the *centre* of the first equator-ring pixel: (θ = π/2,
+        // phi = half a pixel width). phi = 0 would sit exactly on a pixel
+        // boundary where FP fuzz legitimately picks either neighbour.
+        let ns = nside(8);
+        let phi = 0.5 * PI / (2.0 * 8.0);
+        let pix = ang2pix_ring(ns, PI / 2.0, phi);
+        let info = ring_of(ns, pix);
+        assert_eq!(info.ring, 2 * 8); // the equator ring is ring 2*nside
+        assert_eq!(info.length, 4 * 8);
+        assert_eq!(info.index, 0);
+    }
+
+    #[test]
+    fn ring_of_partitions_all_pixels() {
+        let ns = nside(4);
+        let mut count_per_ring = vec![0u64; ns.nrings() as usize + 1];
+        for pix in 0..ns.npix() {
+            let info = ring_of(ns, pix);
+            assert!(info.ring >= 1 && info.ring <= ns.nrings());
+            assert!(info.index < info.length, "pix {pix}: {info:?}");
+            count_per_ring[info.ring as usize] += 1;
+        }
+        for ring in 1..=ns.nrings() {
+            let expected = if ring < ns.get() {
+                4 * ring
+            } else if ring <= 3 * ns.get() {
+                4 * ns.get()
+            } else {
+                4 * (4 * ns.get() - ring)
+            };
+            assert_eq!(count_per_ring[ring as usize], expected, "ring {ring}");
+        }
+    }
+
+    #[test]
+    fn pixel_centers_are_close_to_query_points() {
+        // A point and the centre of the pixel it falls in should be within
+        // ~2 pixel radii of each other.
+        let ns = nside(64);
+        let max_dist = 2.0 * (ns.pixel_area() / PI).sqrt();
+        let mut theta = 0.05;
+        while theta < PI {
+            let mut phi = 0.0;
+            while phi < 2.0 * PI {
+                let pix = ang2pix_ring(ns, theta, phi);
+                let c = pix2vec_ring(ns, pix);
+                let d = crate::ang::angdist(ang2vec(theta, phi), c);
+                assert!(d < max_dist, "theta {theta} phi {phi}: dist {d}");
+                phi += 0.37;
+            }
+            theta += 0.23;
+        }
+    }
+
+    #[test]
+    fn vec_and_ang_agree() {
+        let ns = nside(32);
+        for i in 0..200 {
+            let theta = 0.01 + 3.12 * (i as f64 / 200.0);
+            let phi = 6.2 * ((i * 37 % 200) as f64 / 200.0);
+            assert_eq!(
+                ang2pix_ring(ns, theta, phi),
+                vec2pix_ring(ns, ang2vec(theta, phi))
+            );
+        }
+    }
+
+    #[test]
+    fn nside_one_has_twelve_base_pixels() {
+        let ns = nside(1);
+        let mut seen = std::collections::HashSet::new();
+        let mut theta = 0.05;
+        while theta < PI {
+            let mut phi = 0.01;
+            while phi < 2.0 * PI {
+                seen.insert(ang2pix_ring(ns, theta, phi));
+                phi += 0.05;
+            }
+            theta += 0.02;
+        }
+        assert_eq!(seen.len(), 12);
+        assert!(seen.iter().all(|&p| p < 12));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the HEALPix pixelisation.
+
+use proptest::prelude::*;
+use std::f64::consts::PI;
+use toast_healpix::{ang, convert, nest, ring, Nside};
+
+fn arb_nside() -> impl Strategy<Value = Nside> {
+    (0u32..=10).prop_map(|order| Nside::new(1 << order).unwrap())
+}
+
+fn arb_angles() -> impl Strategy<Value = (f64, f64)> {
+    // Stay epsilon away from the poles where phi degenerates.
+    (1e-6..(PI - 1e-6), 0.0..(2.0 * PI))
+}
+
+proptest! {
+    /// Every angle maps to a valid pixel index in both orderings.
+    #[test]
+    fn pixel_in_range(ns in arb_nside(), (theta, phi) in arb_angles()) {
+        prop_assert!(ring::ang2pix_ring(ns, theta, phi) < ns.npix());
+        prop_assert!(nest::ang2pix_nest(ns, theta, phi) < ns.npix());
+    }
+
+    /// The independently implemented RING and NESTED ang2pix algorithms
+    /// agree through the ordering conversion.
+    #[test]
+    fn orderings_agree(ns in arb_nside(), (theta, phi) in arb_angles()) {
+        let r = ring::ang2pix_ring(ns, theta, phi);
+        let n = nest::ang2pix_nest(ns, theta, phi);
+        prop_assert_eq!(convert::nest2ring(ns, n), r);
+        prop_assert_eq!(convert::ring2nest(ns, r), n);
+    }
+
+    /// nest2ring and ring2nest are mutual inverses on arbitrary pixels.
+    #[test]
+    fn conversion_roundtrip(ns in arb_nside(), raw: u64) {
+        let pix = raw % ns.npix();
+        prop_assert_eq!(convert::ring2nest(ns, convert::nest2ring(ns, pix)), pix);
+        prop_assert_eq!(convert::nest2ring(ns, convert::ring2nest(ns, pix)), pix);
+    }
+
+    /// A pixel centre maps back to the same pixel (both orderings).
+    #[test]
+    fn centre_roundtrip(ns in arb_nside(), raw: u64) {
+        let pix = raw % ns.npix();
+        let (theta, phi) = ring::pix2ang_ring(ns, pix);
+        prop_assert_eq!(ring::ang2pix_ring(ns, theta, phi), pix);
+        let (theta, phi) = nest::pix2ang_nest(ns, pix);
+        prop_assert_eq!(nest::ang2pix_nest(ns, theta, phi), pix);
+    }
+
+    /// The query point always lies within ~2 pixel radii of the centre of
+    /// the pixel it is assigned to (no wild mis-assignments).
+    #[test]
+    fn assignment_is_local(ns in arb_nside(), (theta, phi) in arb_angles()) {
+        let pix = ring::ang2pix_ring(ns, theta, phi);
+        let centre = ring::pix2vec_ring(ns, pix);
+        let query = ang::ang2vec(theta, phi);
+        let limit = 2.0 * (ns.pixel_area() / PI).sqrt();
+        prop_assert!(ang::angdist(query, centre) < limit);
+    }
+
+    /// Vector and angle entry points agree.
+    #[test]
+    fn vec_matches_ang(ns in arb_nside(), (theta, phi) in arb_angles()) {
+        let v = ang::ang2vec(theta, phi);
+        prop_assert_eq!(ring::vec2pix_ring(ns, v), ring::ang2pix_ring(ns, theta, phi));
+        prop_assert_eq!(nest::vec2pix_nest(ns, v), nest::ang2pix_nest(ns, theta, phi));
+    }
+
+    /// z-order encode/decode round-trips for arbitrary face coordinates.
+    #[test]
+    fn zorder_roundtrip(ix in 0u64..(1 << 29), iy in 0u64..(1 << 29)) {
+        let z = nest::xy2zorder(ix, iy);
+        prop_assert_eq!(nest::zorder2xy(z), (ix, iy));
+    }
+}

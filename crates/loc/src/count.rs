@@ -1,0 +1,236 @@
+//! Comment- and blank-stripping line counting (the `cloc` rules).
+
+/// Counts for one source file or source string.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineCount {
+    /// Lines containing code (possibly with a trailing comment).
+    pub code: usize,
+    /// Pure comment lines (`//`, `///`, `//!`, or inside `/* */`).
+    pub comment: usize,
+    /// Blank/whitespace-only lines.
+    pub blank: usize,
+}
+
+impl LineCount {
+    /// Total physical lines.
+    pub fn total(&self) -> usize {
+        self.code + self.comment + self.blank
+    }
+}
+
+impl std::ops::Add for LineCount {
+    type Output = LineCount;
+    fn add(self, rhs: LineCount) -> LineCount {
+        LineCount {
+            code: self.code + rhs.code,
+            comment: self.comment + rhs.comment,
+            blank: self.blank + rhs.blank,
+        }
+    }
+}
+
+impl std::ops::AddAssign for LineCount {
+    fn add_assign(&mut self, rhs: LineCount) {
+        *self = *self + rhs;
+    }
+}
+
+/// Count Rust source the way `cloc` does: blanks and comments excluded
+/// from the code count. Handles line comments, doc comments and (possibly
+/// nested) block comments; string literals containing `//` are treated
+/// conservatively as code.
+pub fn count_lines(source: &str) -> LineCount {
+    let mut out = LineCount::default();
+    let mut block_depth = 0usize;
+
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            out.blank += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            // Inside a block comment: look for closers/openers.
+            let (opens, closes) = scan_block_tokens(trimmed);
+            let had_code_after = block_ends_with_code(trimmed, &mut block_depth, opens, closes);
+            if had_code_after {
+                out.code += 1;
+            } else {
+                out.comment += 1;
+            }
+            continue;
+        }
+        if trimmed.starts_with("//") {
+            out.comment += 1;
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("/*") {
+            // A block comment starting the line; is there code after it
+            // closes on this same line?
+            block_depth = 1;
+            let (opens, closes) = scan_block_tokens(rest);
+            let had_code_after = block_ends_with_code(rest, &mut block_depth, opens, closes);
+            if had_code_after {
+                out.code += 1;
+            } else {
+                out.comment += 1;
+            }
+            continue;
+        }
+        // A code line (may open a block comment mid-line).
+        out.code += 1;
+        let (opens, closes) = scan_block_tokens(trimmed);
+        block_depth = (block_depth + opens).saturating_sub(closes);
+    }
+    out
+}
+
+fn scan_block_tokens(s: &str) -> (usize, usize) {
+    let bytes = s.as_bytes();
+    let (mut opens, mut closes) = (0usize, 0usize);
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b'/' && bytes[i + 1] == b'*' {
+            opens += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+            closes += 1;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    (opens, closes)
+}
+
+/// Update `depth` given this line's tokens; report whether code follows
+/// the final close.
+fn block_ends_with_code(line: &str, depth: &mut usize, opens: usize, closes: usize) -> bool {
+    let new_depth = (*depth + opens).saturating_sub(closes);
+    let closed = new_depth == 0 && closes > 0;
+    *depth = new_depth;
+    if closed {
+        if let Some(pos) = line.rfind("*/") {
+            return !line[pos + 2..].trim().is_empty();
+        }
+    }
+    false
+}
+
+/// Remove `#[cfg(test)] mod tests { .. }` blocks before counting, so the
+/// figures compare *implementation* code the way the paper does (its C++
+/// and Python kernels carry their tests elsewhere).
+pub fn strip_tests(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    let mut skipping = false;
+    let mut depth = 0i64;
+    let mut lines = source.lines().peekable();
+    while let Some(line) = lines.next() {
+        if !skipping && line.trim_start().starts_with("#[cfg(test)]") {
+            // Expect the mod on this or the next line.
+            skipping = true;
+            depth = 0;
+            // Consume until we see the opening brace, tracking from there.
+            let mut l = line;
+            loop {
+                depth += braces(l);
+                if l.contains('{') {
+                    break;
+                }
+                match lines.next() {
+                    Some(next) => l = next,
+                    None => return out,
+                }
+            }
+            if depth <= 0 {
+                skipping = false;
+            }
+            continue;
+        }
+        if skipping {
+            depth += braces(line);
+            if depth <= 0 {
+                skipping = false;
+            }
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn braces(line: &str) -> i64 {
+    line.chars()
+        .map(|c| match c {
+            '{' => 1,
+            '}' => -1,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_the_three_categories() {
+        let src = "\n// comment\nlet x = 1;\n\n/// doc\nfn f() {}\n";
+        let c = count_lines(src);
+        assert_eq!(c.blank, 2);
+        assert_eq!(c.comment, 2);
+        assert_eq!(c.code, 2);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn block_comments_spanning_lines() {
+        let src = "/*\nall\ncomment\n*/\nlet y = 2;\n";
+        let c = count_lines(src);
+        assert_eq!(c.comment, 4);
+        assert_eq!(c.code, 1);
+    }
+
+    #[test]
+    fn code_after_block_close_counts_as_code() {
+        let src = "/* c */ let z = 3;\n";
+        let c = count_lines(src);
+        assert_eq!(c.code, 1);
+        assert_eq!(c.comment, 0);
+    }
+
+    #[test]
+    fn trailing_comment_is_still_code() {
+        let c = count_lines("let a = 1; // trailing\n");
+        assert_eq!(c.code, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still */\ncode();\n";
+        let c = count_lines(src);
+        assert_eq!(c.comment, 1);
+        assert_eq!(c.code, 1);
+    }
+
+    #[test]
+    fn strip_tests_removes_test_modules() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\nfn also_real() {}\n";
+        let stripped = strip_tests(src);
+        assert!(stripped.contains("fn real()"));
+        assert!(stripped.contains("fn also_real()"));
+        assert!(!stripped.contains("assert!(true)"));
+        let c = count_lines(&stripped);
+        assert_eq!(c.code, 2);
+    }
+
+    #[test]
+    fn counts_add() {
+        let a = LineCount { code: 1, comment: 2, blank: 3 };
+        let b = LineCount { code: 10, comment: 20, blank: 30 };
+        let s = a + b;
+        assert_eq!(s.code, 11);
+        assert_eq!(s.total(), 66);
+    }
+}

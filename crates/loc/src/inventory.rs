@@ -1,0 +1,214 @@
+//! Mapping this repository's source files to the paper's implementations.
+//!
+//! Fig. 2 compares, per implementation, the "lines of kernel code" (the
+//! kernel bodies alone) and the total "lines of code" (kernels plus their
+//! dependencies and accelerator plumbing). Fig. 3 breaks kernel lines down
+//! per kernel. The inventory below encodes that mapping for this tree:
+//!
+//! * kernel code: `toast-core/src/kernels/<kernel>/{cpu,omp,jit}.rs`
+//! * dependencies/plumbing: the CPU baseline leans only on shared support;
+//!   the offload port additionally owns the `offload` crate and the
+//!   `OmpStore` plumbing; the traced port owns the `arrayjit` crate and
+//!   the `JitStore` plumbing.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::count::{count_lines, strip_tests};
+
+/// The paper's three implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Implementation {
+    /// "OpenMP CPU" — the host baseline.
+    Cpu,
+    /// "OpenMP Target Offload".
+    OmpTarget,
+    /// "JAX".
+    Jit,
+}
+
+impl Implementation {
+    /// All implementations, figure order.
+    pub const ALL: [Implementation; 3] =
+        [Implementation::Cpu, Implementation::OmpTarget, Implementation::Jit];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Implementation::Cpu => "OpenMP CPU",
+            Implementation::OmpTarget => "OpenMP Target Offload",
+            Implementation::Jit => "JAX (arrayjit)",
+        }
+    }
+
+    /// The kernel-file name for this implementation.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Implementation::Cpu => "cpu.rs",
+            Implementation::OmpTarget => "omp.rs",
+            Implementation::Jit => "jit.rs",
+        }
+    }
+
+    /// Framework/plumbing source directories, relative to the workspace
+    /// root (counted into Fig. 2's total but not into kernel lines).
+    pub fn framework_dirs(self) -> &'static [&'static str] {
+        match self {
+            Implementation::Cpu => &[],
+            Implementation::OmpTarget => &["crates/offload/src"],
+            Implementation::Jit => &["crates/arrayjit/src"],
+        }
+    }
+}
+
+/// Per-kernel, per-implementation line counts.
+#[derive(Debug, Clone)]
+pub struct KernelLoc {
+    /// Kernel name (paper figure label).
+    pub kernel: String,
+    /// Code lines for (cpu, omp, jit), tests stripped.
+    pub cpu: usize,
+    pub omp: usize,
+    pub jit: usize,
+}
+
+/// Count code lines of one file with tests stripped; missing files count
+/// zero (so the tool degrades gracefully outside the full tree).
+fn file_code_lines(path: &Path) -> usize {
+    match fs::read_to_string(path) {
+        Ok(src) => count_lines(&strip_tests(&src)).code,
+        Err(_) => 0,
+    }
+}
+
+/// Count all `.rs` files under a directory (tests stripped).
+fn dir_code_lines(dir: &Path) -> usize {
+    let mut total = 0;
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += dir_code_lines(&path);
+        } else if path.extension().map_or(false, |e| e == "rs") {
+            total += file_code_lines(&path);
+        }
+    }
+    total
+}
+
+/// The kernel directories under a workspace root.
+pub fn kernel_dirs(root: &Path) -> Vec<PathBuf> {
+    let base = root.join("crates/core/src/kernels");
+    let mut dirs: Vec<PathBuf> = fs::read_dir(&base)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// Build the Fig. 3 table: per-kernel code lines per implementation.
+pub fn kernel_loc_table(root: &Path) -> Vec<KernelLoc> {
+    kernel_dirs(root)
+        .into_iter()
+        .map(|dir| {
+            let kernel = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            // The shared mod.rs (docs + dispatch + shared formulas) is
+            // common to all three; the paper's per-kernel counts are the
+            // implementation bodies, so count only the per-impl files.
+            KernelLoc {
+                kernel,
+                cpu: file_code_lines(&dir.join("cpu.rs")),
+                omp: file_code_lines(&dir.join("omp.rs")),
+                jit: file_code_lines(&dir.join("jit.rs")),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 2's two bars for one implementation: `(kernel_lines,
+/// total_lines)` where total adds the framework/plumbing sources.
+pub fn implementation_totals(root: &Path, imp: Implementation) -> (usize, usize) {
+    let kernels: usize = kernel_loc_table(root)
+        .iter()
+        .map(|k| match imp {
+            Implementation::Cpu => k.cpu,
+            Implementation::OmpTarget => k.omp,
+            Implementation::Jit => k.jit,
+        })
+        .sum();
+    let mut total = kernels;
+    for dir in imp.framework_dirs() {
+        total += dir_code_lines(&root.join(dir));
+    }
+    // Shared accelerator plumbing (memory abstraction) splits between the
+    // two device ports.
+    if imp != Implementation::Cpu {
+        total += file_code_lines(&root.join("crates/core/src/memory.rs")) / 2;
+    }
+    (kernels, total)
+}
+
+/// Locate the workspace root from the current directory (walk up until a
+/// directory containing `crates/core` appears).
+pub fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates/core/src/kernels").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> PathBuf {
+        find_workspace_root().expect("tests run inside the workspace")
+    }
+
+    #[test]
+    fn finds_all_ten_kernels() {
+        let table = kernel_loc_table(&root());
+        assert_eq!(table.len(), 10, "{table:?}");
+        for k in &table {
+            assert!(k.cpu > 0, "{} cpu empty", k.kernel);
+            assert!(k.omp > 0, "{} omp empty", k.kernel);
+            assert!(k.jit > 0, "{} jit empty", k.kernel);
+        }
+    }
+
+    #[test]
+    fn offload_kernels_are_longer_than_cpu_on_average() {
+        // The paper's Fig. 2: OpenMP Target Offload kernel code is ~1.8x
+        // the CPU baseline. Directionally, our offload bodies (explicit
+        // buffers, launch specs, guards) must be longer than the CPU ones.
+        let table = kernel_loc_table(&root());
+        let cpu: usize = table.iter().map(|k| k.cpu).sum();
+        let omp: usize = table.iter().map(|k| k.omp).sum();
+        assert!(omp > cpu, "omp {omp} vs cpu {cpu}");
+    }
+
+    #[test]
+    fn framework_totals_dwarf_kernel_lines_for_device_ports() {
+        let (k_omp, t_omp) = implementation_totals(&root(), Implementation::OmpTarget);
+        let (k_jit, t_jit) = implementation_totals(&root(), Implementation::Jit);
+        let (k_cpu, t_cpu) = implementation_totals(&root(), Implementation::Cpu);
+        assert!(t_omp > k_omp);
+        assert!(t_jit > k_jit);
+        assert_eq!(k_cpu, t_cpu); // the baseline has no accelerator plumbing
+        assert!(k_cpu > 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! A `cloc`-like line counter for regenerating the paper's Fig. 2-3.
+//!
+//! The paper measures lines of code per implementation with `cloc` v1.82,
+//! "not counting empty lines and comments". This crate applies the same
+//! rules to Rust source: blank lines, `//` comment lines, `//!`/`///` doc
+//! lines and `/* ... */` block comments are excluded; everything else
+//! counts.
+//!
+//! [`classify`] maps this repository's kernel files to the paper's three
+//! implementations (the `cpu.rs` / `omp.rs` / `jit.rs` layout of
+//! `toast-core/src/kernels/` exists precisely so these figures can be
+//! regenerated from the source tree).
+
+pub mod count;
+pub mod inventory;
+
+pub use count::{count_lines, strip_tests, LineCount};
+pub use inventory::{find_workspace_root, implementation_totals, kernel_loc_table, Implementation, KernelLoc};

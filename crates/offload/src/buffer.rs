@@ -1,0 +1,106 @@
+//! Device-resident buffers.
+//!
+//! A [`DeviceBuffer`] models memory allocated with `omp_target_alloc`: it
+//! lives on the device, is only touched by target regions and transfer
+//! operations, and its capacity counts against the device (and is tracked
+//! in the simulation [`accel_sim::Context`] by the [`crate::pool::Pool`]
+//! that produced it).
+//!
+//! The simulator executes numerics on the host, so the "device" storage is
+//! a host `Vec` — but the API boundary is the real one: host code never
+//! reads a `DeviceBuffer` directly, it goes through `update_host`.
+
+/// Element types that can live in device buffers.
+pub trait DeviceElem: Copy + Default + 'static {
+    /// Bytes per element.
+    const SIZE: usize;
+}
+
+impl DeviceElem for f64 {
+    const SIZE: usize = 8;
+}
+
+impl DeviceElem for i64 {
+    const SIZE: usize = 8;
+}
+
+impl DeviceElem for u8 {
+    const SIZE: usize = 1;
+}
+
+/// A device allocation of `len` elements (capacity may be larger: pools
+/// hand out size-class blocks).
+#[derive(Debug)]
+pub struct DeviceBuffer<T: DeviceElem> {
+    pub(crate) storage: Vec<T>,
+    len: usize,
+    /// Bytes of device capacity this buffer holds (its size class).
+    pub(crate) class_bytes: u64,
+}
+
+impl<T: DeviceElem> DeviceBuffer<T> {
+    pub(crate) fn from_storage(storage: Vec<T>, len: usize, class_bytes: u64) -> Self {
+        debug_assert!(storage.len() >= len);
+        Self {
+            storage,
+            len,
+            class_bytes,
+        }
+    }
+
+    /// Logical length in elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Logical size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        (self.len * T::SIZE) as u64
+    }
+
+    /// Device capacity held (size class), in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.class_bytes
+    }
+
+    /// Device-side view, for target-region bodies only.
+    ///
+    /// Host code outside a target region must use
+    /// [`crate::map::update_host`] instead — reading this directly would be
+    /// dereferencing a device pointer on the host.
+    pub fn device_slice(&self) -> &[T] {
+        &self.storage[..self.len]
+    }
+
+    /// Mutable device-side view, for target-region bodies only.
+    pub fn device_slice_mut(&mut self) -> &mut [T] {
+        &mut self.storage[..self.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_geometry() {
+        let b = DeviceBuffer::from_storage(vec![0.0f64; 16], 10, 128);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.byte_len(), 80);
+        assert_eq!(b.capacity_bytes(), 128);
+        assert_eq!(b.device_slice().len(), 10);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn device_slice_bounds_to_logical_len() {
+        let mut b = DeviceBuffer::from_storage(vec![1i64; 8], 4, 64);
+        b.device_slice_mut()[3] = 9;
+        assert_eq!(b.device_slice(), &[1, 1, 1, 9]);
+    }
+}

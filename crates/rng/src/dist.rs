@@ -1,0 +1,60 @@
+//! Conversions from raw cipher output to floating-point distributions.
+
+/// Map a uniform `u64` to a double in `[0, 1)` using the top 53 bits.
+#[inline]
+pub fn u64_to_f64_01(w: u64) -> f64 {
+    // 2^-53 spacing: exactly representable, never returns 1.0.
+    (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map a uniform `u64` to a double in `(0, 1]` — safe for `ln()`.
+#[inline]
+pub fn u64_to_f64_open(w: u64) -> f64 {
+    ((w >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Box–Muller transform: two uniforms → one standard normal.
+///
+/// `u1` must be in `(0, 1]` (so `ln` is finite), `u2` in `[0, 1)`.
+#[inline]
+pub fn box_muller(u1: f64, u2: f64) -> f64 {
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    r * theta.cos()
+}
+
+/// Both outputs of the Box–Muller transform, when pairs are wanted.
+#[inline]
+pub fn box_muller_pair(u1: f64, u2: f64) -> (f64, f64) {
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_interval_bounds() {
+        assert_eq!(u64_to_f64_01(0), 0.0);
+        assert!(u64_to_f64_01(u64::MAX) < 1.0);
+        assert!(u64_to_f64_open(0) > 0.0);
+        assert!(u64_to_f64_open(u64::MAX) <= 1.0);
+    }
+
+    #[test]
+    fn box_muller_finite_at_extremes() {
+        assert!(box_muller(1.0, 0.0).is_finite());
+        let tiny = u64_to_f64_open(0);
+        assert!(box_muller(tiny, 0.5).is_finite());
+    }
+
+    #[test]
+    fn box_muller_pair_is_orthogonal_rotation() {
+        // cos^2 + sin^2 = 1 ⇒ x^2 + y^2 = -2 ln u1.
+        let (x, y) = box_muller_pair(0.3, 0.7);
+        let r2 = x * x + y * y;
+        assert!((r2 - (-2.0 * 0.3f64.ln())).abs() < 1e-12);
+    }
+}

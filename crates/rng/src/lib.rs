@@ -1,0 +1,63 @@
+//! Counter-based random number generation for reproducible parallel
+//! simulations.
+//!
+//! TOAST draws all of its simulated noise from the Random123 `threefry2x64`
+//! counter-based generator so that every sample of every detector stream is
+//! reproducible *independently of the parallel decomposition*: a draw is a
+//! pure function of `(key, counter)` rather than of generator state. This
+//! crate is a from-scratch Rust implementation of the same scheme.
+//!
+//! The core primitive is [`threefry2x64_20`], the Threefry-2x64 block cipher
+//! with 20 rounds (the Random123 default). On top of it sit
+//! [`CounterRng`], a stateless stream abstraction keyed the way TOAST keys
+//! its streams (two 64-bit key words, two 64-bit counter words), and bulk
+//! fill helpers for uniform and Gaussian variates.
+//!
+//! # Example
+//!
+//! ```
+//! use toast_rng::CounterRng;
+//!
+//! // Same key + counter always produce the same variate, regardless of
+//! // which thread or rank asks for it.
+//! let rng = CounterRng::new(12345, 0);
+//! let a = rng.uniform_01(7);
+//! let b = CounterRng::new(12345, 0).uniform_01(7);
+//! assert_eq!(a, b);
+//! ```
+
+pub mod counter;
+pub mod dist;
+pub mod threefry;
+
+pub use counter::CounterRng;
+pub use threefry::threefry2x64_20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_reproducibility_is_decomposition_independent() {
+        // Draw a block of 1000 gaussians in one shot, then in 10 chunks of
+        // 100 from the same offsets; results must be identical.
+        let rng = CounterRng::new(42, 7);
+        let mut whole = vec![0.0; 1000];
+        rng.fill_gaussian(0, &mut whole);
+        let mut chunked = vec![0.0; 1000];
+        for c in 0..10 {
+            rng.fill_gaussian((c * 100) as u64, &mut chunked[c * 100..(c + 1) * 100]);
+        }
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let a = CounterRng::new(1, 0).uniform_01(0);
+        let b = CounterRng::new(1, 1).uniform_01(0);
+        let c = CounterRng::new(2, 0).uniform_01(0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,140 @@
+//! The Threefry-2x64 block cipher (Salmon et al., "Parallel Random Numbers:
+//! As Easy as 1, 2, 3", SC'11), as used by Random123 and therefore by TOAST.
+//!
+//! Threefry is a reduced-strength variant of the Threefish cipher from
+//! Skein. The 2x64 variant mixes two 64-bit words per round using only
+//! addition, rotation and xor (an ARX network), injecting the extended key
+//! every four rounds. Twenty rounds is the Random123 default ("crush
+//! resistant" in the paper's TestU01 sense).
+
+/// Skein key-schedule parity constant (`SKEIN_KS_PARITY64`).
+const PARITY: u64 = 0x1BD1_1BDA_A9FC_1A22;
+
+/// Per-round rotation constants for Threefry-2x64 (period 8).
+const ROTATIONS: [u32; 8] = [16, 42, 12, 31, 16, 32, 24, 21];
+
+/// One Threefry-2x64 encryption with `R` rounds.
+///
+/// `ctr` is the plaintext (the "counter"), `key` the cipher key. The result
+/// is two statistically independent, uniformly distributed 64-bit words.
+#[inline]
+pub fn threefry2x64<const R: usize>(ctr: [u64; 2], key: [u64; 2]) -> [u64; 2] {
+    let ks = [key[0], key[1], PARITY ^ key[0] ^ key[1]];
+    let mut x0 = ctr[0].wrapping_add(ks[0]);
+    let mut x1 = ctr[1].wrapping_add(ks[1]);
+    for r in 0..R {
+        x0 = x0.wrapping_add(x1);
+        x1 = x1.rotate_left(ROTATIONS[r % 8]);
+        x1 ^= x0;
+        if (r + 1) % 4 == 0 {
+            let s = (r + 1) / 4;
+            x0 = x0.wrapping_add(ks[s % 3]);
+            x1 = x1.wrapping_add(ks[(s + 1) % 3]);
+            x1 = x1.wrapping_add(s as u64);
+        }
+    }
+    [x0, x1]
+}
+
+/// The Random123 default: Threefry-2x64 with 20 rounds.
+#[inline]
+pub fn threefry2x64_20(ctr: [u64; 2], key: [u64; 2]) -> [u64; 2] {
+    threefry2x64::<20>(ctr, key)
+}
+
+/// A reduced 13-round variant, the smallest round count Random123 certifies
+/// as passing BigCrush. Exposed for the throughput ablation bench.
+#[inline]
+pub fn threefry2x64_13(ctr: [u64; 2], key: [u64; 2]) -> [u64; 2] {
+    threefry2x64::<13>(ctr, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = threefry2x64_20([1, 2], [3, 4]);
+        let b = threefry2x64_20([1, 2], [3, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counter_sensitivity() {
+        // Flipping a single counter bit must change both output words
+        // (avalanche): check across all 128 counter bit positions.
+        let key = [0xdead_beef, 0xfeed_cafe];
+        let base = threefry2x64_20([0, 0], key);
+        for bit in 0..128u32 {
+            let ctr = if bit < 64 {
+                [1u64 << bit, 0]
+            } else {
+                [0, 1u64 << (bit - 64)]
+            };
+            let out = threefry2x64_20(ctr, key);
+            assert_ne!(out, base, "bit {bit} failed to perturb output");
+        }
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let ctr = [42, 43];
+        let base = threefry2x64_20(ctr, [0, 0]);
+        for bit in 0..128u32 {
+            let key = if bit < 64 {
+                [1u64 << bit, 0]
+            } else {
+                [0, 1u64 << (bit - 64)]
+            };
+            assert_ne!(threefry2x64_20(ctr, key), base, "key bit {bit}");
+        }
+    }
+
+    #[test]
+    fn avalanche_is_strong() {
+        // A one-bit counter change should flip roughly half of the 128
+        // output bits. Average over a few hundred trials and demand the mean
+        // sit in a generous [48, 80] window.
+        let key = [7, 11];
+        let mut total = 0u32;
+        let trials = 512;
+        for i in 0..trials {
+            let a = threefry2x64_20([i, 0], key);
+            let b = threefry2x64_20([i ^ 1, 0], key);
+            total += (a[0] ^ b[0]).count_ones() + (a[1] ^ b[1]).count_ones();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((48.0..=80.0).contains(&mean), "avalanche mean {mean}");
+    }
+
+    #[test]
+    fn rounds_matter() {
+        let ctr = [5, 9];
+        let key = [1, 2];
+        assert_ne!(threefry2x64_13(ctr, key), threefry2x64_20(ctr, key));
+    }
+
+    #[test]
+    fn output_bits_unbiased() {
+        // Each of the 128 output bit positions should be ~50% ones over a
+        // sweep of counters.
+        let key = [0x1234, 0x5678];
+        let n = 4096u64;
+        let mut ones = [0u32; 128];
+        for i in 0..n {
+            let out = threefry2x64_20([i, 0], key);
+            for b in 0..64 {
+                ones[b as usize] += ((out[0] >> b) & 1) as u32;
+                ones[64 + b as usize] += ((out[1] >> b) & 1) as u32;
+            }
+        }
+        for (pos, &c) in ones.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!(
+                (0.45..=0.55).contains(&frac),
+                "bit {pos} biased: {frac}"
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the counter RNG.
+
+use proptest::prelude::*;
+use toast_rng::{threefry2x64_20, CounterRng};
+
+proptest! {
+    /// The cipher is a pure function: same inputs, same outputs.
+    #[test]
+    fn cipher_is_pure(c0: u64, c1: u64, k0: u64, k1: u64) {
+        prop_assert_eq!(
+            threefry2x64_20([c0, c1], [k0, k1]),
+            threefry2x64_20([c0, c1], [k0, k1])
+        );
+    }
+
+    /// The cipher is injective in the counter for a fixed key on distinct
+    /// counters (it is a bijection, being a block cipher).
+    #[test]
+    fn distinct_counters_distinct_blocks(k0: u64, k1: u64, a: u64, b: u64) {
+        prop_assume!(a != b);
+        prop_assert_ne!(
+            threefry2x64_20([a, 0], [k0, k1]),
+            threefry2x64_20([b, 0], [k0, k1])
+        );
+    }
+
+    /// Bulk fill equals element-wise draws for any start offset and length.
+    #[test]
+    fn fill_words_matches_pointwise(key: u64, start in 0u64..1_000_000, len in 0usize..64) {
+        let rng = CounterRng::new(key, 0);
+        let mut bulk = vec![0u64; len];
+        rng.fill_words(start, &mut bulk);
+        for (i, &w) in bulk.iter().enumerate() {
+            prop_assert_eq!(w, rng.word(start + i as u64));
+        }
+    }
+
+    /// Uniform draws stay inside [0, 1) for arbitrary positions.
+    #[test]
+    fn uniform_bounds(key: u64, idx: u64) {
+        let u = CounterRng::new(key, 3).uniform_01(idx);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    /// Gaussians are always finite (Box–Muller never sees ln(0)).
+    #[test]
+    fn gaussian_finite(key: u64, idx: u64) {
+        prop_assert!(CounterRng::new(key, 5).gaussian(idx).is_finite());
+    }
+
+    /// Child streams never collide with the parent or with low-index
+    /// siblings on their first block.
+    #[test]
+    fn child_streams_distinct(key: u64, idx in 0u64..1000) {
+        let parent = CounterRng::new(key, 0);
+        let child = parent.child(idx);
+        prop_assert_ne!(parent.block(0, 0), child.block(0, 0));
+    }
+}

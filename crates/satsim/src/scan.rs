@@ -1,0 +1,145 @@
+//! Satellite scanning strategy.
+//!
+//! The boresight attitude composes three rotations, outermost first:
+//! a slow precession of the spin axis about the anti-solar direction, the
+//! spacecraft spin, and the fixed opening angle between the spin axis and
+//! the boresight. Science intervals are the spans between repointing /
+//! data-gap events and vary in length, which is exactly the structure
+//! that forces interval padding in the traced port.
+
+use toast_core::data::Interval;
+use toast_core::quat;
+use toast_rng::CounterRng;
+
+/// Scan-strategy parameters (Planck-like defaults, scaled rates so short
+/// test runs still precess visibly).
+#[derive(Debug, Clone, Copy)]
+pub struct ScanStrategy {
+    /// Spin rate in revolutions per minute.
+    pub spin_rpm: f64,
+    /// Precession period in minutes.
+    pub precession_min: f64,
+    /// Opening angle between spin axis and boresight, radians.
+    pub opening_angle: f64,
+    /// Angle between precession axis and spin axis, radians.
+    pub precession_angle: f64,
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+}
+
+impl Default for ScanStrategy {
+    fn default() -> Self {
+        Self {
+            spin_rpm: 1.0,
+            precession_min: 50.0,
+            opening_angle: 1.48,     // ~85 degrees
+            precession_angle: 0.785, // ~45 degrees
+            sample_rate: 19.0,
+        }
+    }
+}
+
+impl ScanStrategy {
+    /// The boresight quaternion at sample `s`.
+    pub fn boresight_at(&self, s: usize) -> [f64; 4] {
+        let t = s as f64 / self.sample_rate; // seconds
+        let spin_angle = 2.0 * std::f64::consts::PI * self.spin_rpm * t / 60.0;
+        let prec_angle = 2.0 * std::f64::consts::PI * t / (self.precession_min * 60.0);
+
+        let precession = quat::mul(
+            quat::from_axis_angle([0.0, 0.0, 1.0], prec_angle),
+            quat::from_axis_angle([0.0, 1.0, 0.0], self.precession_angle),
+        );
+        let spin = quat::from_axis_angle([0.0, 0.0, 1.0], spin_angle);
+        let open = quat::from_axis_angle([0.0, 1.0, 0.0], self.opening_angle);
+        quat::mul(quat::mul(precession, spin), open)
+    }
+
+    /// Fill a `[n_samp × 4]` boresight array.
+    pub fn fill_boresight(&self, out: &mut [f64]) {
+        assert_eq!(out.len() % 4, 0);
+        for s in 0..out.len() / 4 {
+            let q = self.boresight_at(s);
+            out[4 * s..4 * s + 4].copy_from_slice(&q);
+        }
+    }
+}
+
+/// Generate variable-length science intervals over `n_samp` samples:
+/// nominal spans of `nominal_len` jittered ±40% by the seeded counter RNG,
+/// separated by short gaps — TOAST's repointing structure.
+pub fn science_intervals(n_samp: usize, nominal_len: usize, seed: u64) -> Vec<Interval> {
+    assert!(nominal_len > 0);
+    let rng = CounterRng::new(seed, 0xC0FFEE);
+    let mut intervals = Vec::new();
+    let mut start = 0usize;
+    let mut draw = 0u64;
+    while start < n_samp {
+        let jitter = 0.6 + 0.8 * rng.uniform_01(draw);
+        draw += 1;
+        let len = ((nominal_len as f64 * jitter) as usize).max(1);
+        let end = (start + len).min(n_samp);
+        intervals.push(Interval::new(start, end));
+        // Gap: 1-5% of the nominal length.
+        let gap = 1 + (rng.uniform_01(draw) * 0.04 * nominal_len as f64) as usize;
+        draw += 1;
+        start = end + gap;
+    }
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boresight_is_unit_and_smooth() {
+        let scan = ScanStrategy::default();
+        let mut prev = scan.boresight_at(0);
+        for s in 1..500 {
+            let q = scan.boresight_at(s);
+            assert!((quat::norm(q) - 1.0).abs() < 1e-12);
+            // Successive line-of-sight directions move by a small angle.
+            let a = quat::rotate_z(prev);
+            let b = quat::rotate_z(q);
+            let dot = (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]).clamp(-1.0, 1.0);
+            assert!(dot.acos() < 0.05, "jump at sample {s}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn scan_covers_a_band_of_the_sky() {
+        // Spin + precession should sweep a wide range of z.
+        let scan = ScanStrategy::default();
+        let n = 100_000;
+        let (mut zmin, mut zmax) = (1.0f64, -1.0f64);
+        for s in (0..n).step_by(37) {
+            let z = quat::rotate_z(scan.boresight_at(s))[2];
+            zmin = zmin.min(z);
+            zmax = zmax.max(z);
+        }
+        assert!(zmax - zmin > 1.0, "z range [{zmin}, {zmax}] too narrow");
+    }
+
+    #[test]
+    fn intervals_partition_without_overlap() {
+        let ivs = science_intervals(10_000, 300, 42);
+        assert!(ivs.len() > 10);
+        for w in ivs.windows(2) {
+            assert!(w[0].end < w[1].start, "intervals must be separated by gaps");
+        }
+        assert!(ivs.last().unwrap().end <= 10_000);
+        // Lengths vary.
+        let lens: Vec<usize> = ivs.iter().map(|iv| iv.len()).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max > min, "lengths must vary: {lens:?}");
+    }
+
+    #[test]
+    fn intervals_are_reproducible() {
+        assert_eq!(science_intervals(5000, 200, 7), science_intervals(5000, 200, 7));
+        assert_ne!(science_intervals(5000, 200, 7), science_intervals(5000, 200, 8));
+    }
+}

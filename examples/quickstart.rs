@@ -1,0 +1,58 @@
+//! Quickstart: simulate a small satellite observation, run the benchmark
+//! pipeline under all three kernel implementations, and print the
+//! per-operation timing comparison the paper's profiling tooling produces.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use toast_repro::accel_sim::Context;
+use toast_repro::toast_core::dispatch::ImplKind;
+use toast_repro::toast_core::kernels::ExecCtx;
+use toast_repro::toast_core::pipeline::benchmark_pipeline;
+use toast_repro::toast_core::timing::{compare, Timers};
+use toast_repro::toast_satsim::Problem;
+
+fn main() {
+    // A scaled-down version of the paper's medium problem: same scanning
+    // pattern, focal-plane structure, interval statistics and noise model.
+    let mut problem = Problem::medium(1e-3);
+    problem.n_det_total = 128;
+    problem.total_samples *= 128.0 / 2048.0;
+    problem.n_obs = 2;
+
+    println!("workload: {} detectors x {} samples/obs x {} obs",
+        problem.detectors_per_rank(1),
+        problem.samples_per_detector(),
+        problem.n_obs,
+    );
+
+    let mut runs: Vec<(&str, Timers)> = Vec::new();
+    for (label, kind) in [
+        ("cpu", ImplKind::Cpu),
+        ("omp_target", ImplKind::OmpTarget),
+        ("jax", ImplKind::Jit),
+    ] {
+        let mut ws = problem.rank_workspace(0, 1);
+        let mut ctx = Context::new(problem.calib());
+        let mut exec = ExecCtx::new(kind, 64);
+        let host = problem.host_seconds_per_rank(&ws, 1);
+        let pipe = benchmark_pipeline(host);
+        for _ in 0..problem.n_obs {
+            pipe.run(&mut ctx, &mut exec, &mut ws)
+                .expect("workload fits on the simulated device");
+        }
+        println!(
+            "{label:>10}: simulated {:.4} s ({} kernel launches, {:.1} MB over PCIe)",
+            ctx.total_seconds(),
+            ctx.trace().kernel_count(),
+            ctx.trace().transfer_bytes() / 1e6,
+        );
+        let mut timers = Timers::new();
+        timers.absorb_context(&ctx);
+        runs.push((label, timers));
+    }
+
+    // The paper's "comparative spreadsheet" (§ 3.2.3): one row per
+    // operation, one column per implementation.
+    let refs: Vec<(&str, &Timers)> = runs.iter().map(|(l, t)| (*l, t)).collect();
+    println!("\nper-operation comparison (seconds):\n{}", compare(&refs));
+}

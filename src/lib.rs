@@ -1,0 +1,14 @@
+//! Umbrella crate for the toast-repro workspace.
+//!
+//! Re-exports every sub-crate so the runnable examples and the
+//! cross-crate integration tests under `tests/` have a single import root.
+
+pub use accel_sim;
+pub use arrayjit;
+pub use loc_count;
+pub use offload;
+pub use toast_core;
+pub use toast_fft;
+pub use toast_healpix;
+pub use toast_rng;
+pub use toast_satsim;

@@ -1,0 +1,114 @@
+//! Workspace-level integration tests: the three kernel implementations
+//! must agree on realistic satellite workloads, end to end.
+//!
+//! This is the repository's core correctness claim (the paper's ports had
+//! to preserve the science): every kernel's offload and JIT
+//! implementations reproduce the CPU baseline on generated data with
+//! varied intervals, real noise and a structured sky.
+
+use toast_repro::accel_sim::Context;
+use toast_repro::toast_core::dispatch::ImplKind;
+use toast_repro::toast_core::kernels::ExecCtx;
+use toast_repro::toast_core::pipeline::{benchmark_pipeline, MovementPolicy};
+use toast_repro::toast_core::workspace::Workspace;
+use toast_repro::toast_satsim::Problem;
+
+fn problem() -> Problem {
+    let mut p = Problem::medium(1e-3);
+    p.n_det_total = 32;
+    p.total_samples *= 32.0 / 2048.0;
+    p.n_obs = 2;
+    p
+}
+
+fn run(kind: ImplKind) -> (Workspace, Context) {
+    let p = problem();
+    let mut ws = p.rank_workspace(0, 2);
+    let mut ctx = Context::new(p.calib());
+    let mut exec = ExecCtx::new(kind, 8);
+    let host = p.host_seconds_per_rank(&ws, 2);
+    let pipe = benchmark_pipeline(host);
+    for _ in 0..p.n_obs {
+        pipe.run(&mut ctx, &mut exec, &mut ws).expect("fits");
+    }
+    (ws, ctx)
+}
+
+fn assert_close(label: &str, a: &[f64], b: &[f64], tol: f64) {
+    assert_eq!(a.len(), b.len(), "{label} length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * x.abs().max(1.0),
+            "{label}[{i}]: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn offload_port_reproduces_the_cpu_baseline() {
+    let (cpu, _) = run(ImplKind::Cpu);
+    let (omp, ctx) = run(ImplKind::OmpTarget);
+    assert_close("signal", &cpu.obs.signal, &omp.obs.signal, 1e-10);
+    assert_close("zmap", &cpu.zmap, &omp.zmap, 1e-9);
+    assert_close("amp_out", &cpu.amp_out, &omp.amp_out, 1e-9);
+    // Pixels are intermediate products: the pipeline (like TOAST) leaves
+    // them on the device, so the host copy is not compared here — the
+    // kernel-level tests in toast-core check them bit-exactly.
+    // The offload run actually used the device.
+    assert!(ctx.trace().kernel_count() > 0);
+    assert!(ctx.trace().transfer_bytes() > 0.0);
+}
+
+#[test]
+fn jit_port_reproduces_the_cpu_baseline() {
+    let (cpu, _) = run(ImplKind::Cpu);
+    let (jit, ctx) = run(ImplKind::Jit);
+    assert_close("signal", &cpu.obs.signal, &jit.obs.signal, 1e-10);
+    assert_close("zmap", &cpu.zmap, &jit.zmap, 1e-9);
+    assert_close("amp_out", &cpu.amp_out, &jit.amp_out, 1e-9);
+    assert!(ctx.trace().kernel_count() > 0);
+}
+
+#[test]
+fn jit_cpu_backend_matches_jit_device_backend_exactly() {
+    let (dev, _) = run(ImplKind::Jit);
+    let (cpu_backend, ctx) = run(ImplKind::JitCpu);
+    // Same compiled programs, same interpreter: bitwise identical.
+    assert_eq!(dev.obs.signal, cpu_backend.obs.signal);
+    assert_eq!(dev.zmap, cpu_backend.zmap);
+    // But no device was used.
+    assert_eq!(ctx.trace().kernel_count(), 0);
+    assert_eq!(ctx.trace().transfer_bytes(), 0.0);
+}
+
+#[test]
+fn device_time_is_far_below_cpu_time_for_the_kernels() {
+    // The point of the whole exercise: the same kernels cost much less
+    // simulated time on the accelerator.
+    let (_, cpu_ctx) = run(ImplKind::Cpu);
+    let (_, omp_ctx) = run(ImplKind::OmpTarget);
+    let kernel = "stokes_weights_IQU";
+    let cpu_t = cpu_ctx.stats()[kernel].seconds;
+    let omp_t = omp_ctx.stats()[kernel].seconds;
+    assert!(
+        cpu_t / omp_t > 5.0,
+        "expected a large device speedup for {kernel}: cpu {cpu_t} omp {omp_t}"
+    );
+}
+
+#[test]
+fn naive_movement_is_slower_but_equally_correct() {
+    let p = problem();
+    let run_policy = |policy| {
+        let mut ws = p.rank_workspace(0, 2);
+        let mut ctx = Context::new(p.calib());
+        let mut exec = ExecCtx::new(ImplKind::OmpTarget, 8);
+        let pipe = benchmark_pipeline(0.01).with_policy(policy);
+        pipe.run(&mut ctx, &mut exec, &mut ws).expect("fits");
+        (ws, ctx)
+    };
+    let (tracked_ws, tracked_ctx) = run_policy(MovementPolicy::Tracked);
+    let (naive_ws, naive_ctx) = run_policy(MovementPolicy::Naive);
+    assert_close("signal", &tracked_ws.obs.signal, &naive_ws.obs.signal, 1e-12);
+    assert!(naive_ctx.trace().transfer_bytes() > tracked_ctx.trace().transfer_bytes());
+}
