@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, release build, full test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

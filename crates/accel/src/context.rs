@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use crate::calib::NodeCalib;
 use crate::profile::KernelProfile;
-use crate::trace::{RankTrace, Segment, TransferDir};
+use crate::trace::{RankTrace, Segment, SpanEvent, SpanKind, TransferDir};
 
 /// Device out-of-memory, mirroring the paper's JAX runs that "do not fit on
 /// GPU memory when running with one and 64 processes".
@@ -48,6 +48,10 @@ pub struct Context {
     trace: RankTrace,
     device_in_use: u64,
     by_label: BTreeMap<String, LabelStats>,
+    /// Virtual seconds elapsed on this rank's solo-estimate clock.
+    clock: f64,
+    /// Open phases: `(label, start clock)`, innermost last.
+    phases: Vec<(String, f64)>,
 }
 
 /// Aggregate statistics for one accounting label.
@@ -79,6 +83,74 @@ impl Context {
             trace: RankTrace::default(),
             device_in_use: 0,
             by_label: BTreeMap::new(),
+            clock: 0.0,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Virtual seconds elapsed on this rank's solo-estimate clock.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Open a phase: spans recorded until the matching [`Self::pop_phase`]
+    /// carry it in their scope, and the phase itself is emitted as a
+    /// [`SpanKind::Phase`] event covering push → pop on the virtual clock.
+    pub fn push_phase(&mut self, label: impl Into<String>) {
+        self.phases.push((label.into(), self.clock));
+    }
+
+    /// Close the innermost phase, emitting its span. No-op when no phase
+    /// is open.
+    pub fn pop_phase(&mut self) {
+        if let Some((label, start)) = self.phases.pop() {
+            let scope = self.scope();
+            self.trace.events.push(SpanEvent {
+                kind: SpanKind::Phase,
+                label,
+                scope,
+                start,
+                dur: self.clock - start,
+                bytes: 0.0,
+            });
+        }
+    }
+
+    /// Number of open phases.
+    pub fn phase_depth(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Pop phases (emitting their spans) until `depth` remain — the
+    /// early-exit cleanup for callers that error out mid-phase.
+    pub fn truncate_phases(&mut self, depth: usize) {
+        while self.phases.len() > depth {
+            self.pop_phase();
+        }
+    }
+
+    fn scope(&self) -> String {
+        self.phases
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    /// Record a span of `dur` virtual seconds starting now, advancing the
+    /// clock by its duration when timed.
+    fn record(&mut self, kind: SpanKind, label: &str, dur: f64, bytes: f64) {
+        let scope = self.scope();
+        self.trace.events.push(SpanEvent {
+            kind,
+            label: label.to_string(),
+            scope,
+            start: self.clock,
+            dur,
+            bytes,
+        });
+        if kind.is_timed() {
+            self.clock += dur;
         }
     }
 
@@ -87,6 +159,7 @@ impl Context {
         let label = label.into();
         self.stat(&label).calls += 1;
         self.stat(&label).seconds += seconds;
+        self.record(SpanKind::Host, &label, seconds, 0.0);
         self.trace.segments.push(Segment::Host { seconds, label });
     }
 
@@ -96,7 +169,10 @@ impl Context {
         let s = self.stat(&profile.name);
         s.calls += 1;
         s.seconds += solo;
-        self.trace.segments.push(Segment::Kernel { profile, dispatch });
+        self.record(SpanKind::Kernel, &profile.name.clone(), solo, 0.0);
+        self.trace
+            .segments
+            .push(Segment::Kernel { profile, dispatch });
     }
 
     /// Record a host↔device transfer of `bytes` under the standard
@@ -114,7 +190,10 @@ impl Context {
         s.calls += 1;
         s.seconds += seconds;
         s.bytes += bytes;
-        self.trace.segments.push(Segment::Transfer { bytes, dir, label });
+        self.record(SpanKind::Transfer, &label, seconds, bytes);
+        self.trace
+            .segments
+            .push(Segment::Transfer { bytes, dir, label });
     }
 
     /// Account a device allocation of `bytes`; charges allocator latency
@@ -122,6 +201,7 @@ impl Context {
     /// both ports implement pools).
     pub fn device_alloc(&mut self, bytes: u64, pooled: bool) -> Result<(), MemoryError> {
         if self.device_in_use + bytes > self.device_capacity {
+            self.record(SpanKind::Oom, "accel_oom", 0.0, bytes as f64);
             return Err(MemoryError {
                 requested: bytes,
                 in_use: self.device_in_use,
@@ -130,12 +210,25 @@ impl Context {
         }
         self.device_in_use += bytes;
         self.trace.peak_device_bytes = self.trace.peak_device_bytes.max(self.device_in_use);
-        let seconds = if pooled { 0.0 } else { self.calib.gpu.alloc_latency };
+        let seconds = if pooled {
+            0.0
+        } else {
+            self.calib.gpu.alloc_latency
+        };
         if seconds > 0.0 {
-            self.trace.segments.push(Segment::DeviceAlloc { seconds });
             let s = self.stat("accel_data_alloc");
             s.calls += 1;
             s.seconds += seconds;
+            self.record(SpanKind::Alloc, "accel_data_alloc", seconds, bytes as f64);
+            self.trace.segments.push(Segment::DeviceAlloc { seconds });
+        } else {
+            // Pool hit: no time charged, but keep the event for the trace.
+            self.record(
+                SpanKind::Alloc,
+                "accel_data_alloc_pooled",
+                0.0,
+                bytes as f64,
+            );
         }
         Ok(())
     }
@@ -144,6 +237,7 @@ impl Context {
     pub fn device_free(&mut self, bytes: u64) {
         debug_assert!(bytes <= self.device_in_use, "free of {bytes} exceeds usage");
         self.device_in_use = self.device_in_use.saturating_sub(bytes);
+        self.record(SpanKind::Free, "accel_data_free", 0.0, bytes as f64);
     }
 
     /// Bytes currently resident on the device.
@@ -179,7 +273,8 @@ impl Context {
 
     fn stat(&mut self, label: &str) -> &mut LabelStats {
         if !self.by_label.contains_key(label) {
-            self.by_label.insert(label.to_string(), LabelStats::default());
+            self.by_label
+                .insert(label.to_string(), LabelStats::default());
         }
         self.by_label.get_mut(label).expect("just inserted")
     }
@@ -234,6 +329,106 @@ mod tests {
         assert_eq!(t.bytes, 3e6);
         assert!(t.seconds > 3e6 / c.calib.gpu.pcie_bw);
         assert_eq!(c.trace().kernel_count(), 1);
+    }
+
+    #[test]
+    fn clock_advances_with_every_charge() {
+        let mut c = ctx();
+        assert_eq!(c.now(), 0.0);
+        c.host_compute("a", 1.0);
+        assert_eq!(c.now(), 1.0);
+        c.transfer(1e6, TransferDir::HostToDevice);
+        let after_transfer = c.now();
+        assert!(after_transfer > 1.0);
+        c.launch(KernelProfile::uniform("k", 1e6, 10.0, 24.0), 1e-5);
+        assert!(c.now() > after_transfer);
+        // Spans start back-to-back and cover the clock exactly.
+        let events = &c.trace().events;
+        let mut t = 0.0;
+        for e in events.iter().filter(|e| e.kind.is_timed()) {
+            assert!((e.start - t).abs() < 1e-15, "{} vs {}", e.start, t);
+            t = e.start + e.dur;
+        }
+        assert!((t - c.now()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn span_seconds_match_label_stats() {
+        let mut c = ctx();
+        c.host_compute("serial", 1.5);
+        c.host_compute("serial", 0.5);
+        c.launch(KernelProfile::uniform("scan_map", 1e6, 10.0, 24.0), 1e-5);
+        c.transfer(4e6, TransferDir::DeviceToHost);
+        c.device_alloc(100, false).unwrap();
+        let by_span = c.trace().span_seconds_by_label();
+        for (label, stat) in c.stats() {
+            let spans = by_span.get(label).copied().unwrap_or(0.0);
+            assert!(
+                (spans - stat.seconds).abs() < 1e-12,
+                "{label}: spans {spans} vs stats {}",
+                stat.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn phases_scope_spans_and_emit_phase_events() {
+        let mut c = ctx();
+        c.push_phase("pipeline");
+        c.host_compute("setup", 1.0);
+        c.push_phase("kernel[ScanMap]");
+        c.host_compute("inner", 2.0);
+        c.pop_phase();
+        c.pop_phase();
+
+        let events = &c.trace().events;
+        let inner = events.iter().find(|e| e.label == "inner").unwrap();
+        assert_eq!(inner.scope, "pipeline/kernel[ScanMap]");
+        let phase = events
+            .iter()
+            .find(|e| e.kind == SpanKind::Phase && e.label == "kernel[ScanMap]")
+            .unwrap();
+        assert_eq!(phase.start, 1.0);
+        assert_eq!(phase.dur, 2.0);
+        assert_eq!(phase.scope, "pipeline");
+        let outer = events
+            .iter()
+            .find(|e| e.kind == SpanKind::Phase && e.label == "pipeline")
+            .unwrap();
+        assert_eq!(outer.dur, 3.0);
+        assert_eq!(c.phase_depth(), 0);
+    }
+
+    #[test]
+    fn truncate_phases_closes_dangling_scopes() {
+        let mut c = ctx();
+        let depth = c.phase_depth();
+        c.push_phase("a");
+        c.push_phase("b");
+        c.host_compute("x", 1.0);
+        c.truncate_phases(depth);
+        assert_eq!(c.phase_depth(), 0);
+        let phases: Vec<_> = c
+            .trace()
+            .events
+            .iter()
+            .filter(|e| e.kind == SpanKind::Phase)
+            .collect();
+        assert_eq!(phases.len(), 2);
+    }
+
+    #[test]
+    fn oom_and_free_are_recorded_as_instants() {
+        let mut c = Context::with_capacity(NodeCalib::default(), 1000);
+        c.device_alloc(800, true).unwrap();
+        assert!(c.device_alloc(400, true).is_err());
+        c.device_free(800);
+        let events = &c.trace().events;
+        let oom = events.iter().find(|e| e.kind == SpanKind::Oom).unwrap();
+        assert_eq!(oom.bytes, 400.0);
+        assert_eq!(oom.dur, 0.0);
+        let free = events.iter().find(|e| e.kind == SpanKind::Free).unwrap();
+        assert_eq!(free.bytes, 800.0);
     }
 
     #[test]

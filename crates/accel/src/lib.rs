@@ -36,6 +36,9 @@ pub mod trace;
 
 pub use calib::{CpuCalib, DeviceCalib, NodeCalib};
 pub use context::{Context, MemoryError};
-pub use node::{simulate_node, NodeConfig, NodeResult};
+pub use node::{
+    simulate_node, simulate_node_traced, GpuSample, NodeConfig, NodeResult, NodeTimeline,
+    TimelineEvent, TimelineKind,
+};
 pub use profile::KernelProfile;
-pub use trace::{Segment, TransferDir};
+pub use trace::{RankTrace, Segment, SpanEvent, SpanKind, TransferDir};

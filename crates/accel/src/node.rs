@@ -56,6 +56,89 @@ pub struct NodeResult {
     pub switch_seconds: Vec<f64>,
 }
 
+/// Kind of a wall-clock [`TimelineEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimelineKind {
+    /// Host-side computation (including kernel dispatch lead-ins).
+    Host,
+    /// Device kernel execution.
+    Kernel,
+    /// PCIe transfer.
+    Transfer,
+    /// A context swap charged to a non-MPS kernel (instant marker at the
+    /// kernel's scheduling time; its cost is folded into the kernel).
+    ContextSwitch,
+}
+
+impl TimelineKind {
+    /// Stable lowercase name, used by the trace exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimelineKind::Host => "host",
+            TimelineKind::Kernel => "kernel",
+            TimelineKind::Transfer => "transfer",
+            TimelineKind::ContextSwitch => "context_switch",
+        }
+    }
+}
+
+/// One contention-resolved interval of a rank's replay: when the activity
+/// actually ran on the shared node, in wall-clock seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Which rank.
+    pub rank: usize,
+    /// GPU involved (kernels, transfers, switches); `None` for host work.
+    pub gpu: Option<usize>,
+    /// Accounting label of the underlying segment.
+    pub label: String,
+    /// What ran.
+    pub kind: TimelineKind,
+    /// Wall-clock start.
+    pub start: f64,
+    /// Wall-clock end (≥ start; equal for instants).
+    pub end: f64,
+}
+
+/// One occupancy sample: GPU `gpu` ran at `load` (0..=1 of its compute
+/// throughput) over the interval starting at `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSample {
+    /// Interval start, wall-clock seconds.
+    pub t: f64,
+    /// GPU index.
+    pub gpu: usize,
+    /// Fraction of the device's throughput in use (clamped to 1).
+    pub load: f64,
+}
+
+/// The wall-clock timeline of a replay: what each rank ran when after
+/// contention, plus piecewise-constant per-GPU occupancy.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTimeline {
+    /// Per-rank intervals, in completion order.
+    pub events: Vec<TimelineEvent>,
+    /// Per-GPU occupancy samples, one per replay step per GPU (each valid
+    /// until the next sample for the same GPU).
+    pub occupancy: Vec<GpuSample>,
+}
+
+impl NodeTimeline {
+    /// Time-weighted mean occupancy of `gpu` over `horizon` seconds.
+    pub fn mean_occupancy(&self, gpu: usize, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        let samples: Vec<&GpuSample> = self.occupancy.iter().filter(|s| s.gpu == gpu).collect();
+        let mut acc = 0.0;
+        for (i, s) in samples.iter().enumerate() {
+            let end = samples.get(i + 1).map_or(horizon, |n| n.t);
+            acc += s.load * (end - s.t).max(0.0);
+        }
+        acc / horizon
+    }
+}
+
 /// A rank's trace does not fit in its share of device memory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeOom {
@@ -86,7 +169,11 @@ enum Activity {
     Host { remaining: f64 },
     /// Kernel on `gpu`: `remaining` device-seconds of demand at max rate
     /// `util`.
-    Kernel { gpu: usize, remaining: f64, util: f64 },
+    Kernel {
+        gpu: usize,
+        remaining: f64,
+        util: f64,
+    },
     /// Transfer on `gpu`'s PCIe link; `remaining` link-seconds.
     Transfer { gpu: usize, remaining: f64 },
     /// All segments consumed.
@@ -99,14 +186,36 @@ struct RankState<'a> {
     activity: Activity,
     finish: f64,
     /// Device part of a kernel whose host lead-in (dispatch + launch
-    /// latency) is currently running: `(device_seconds, utilization)`.
-    pending_kernel: Option<(f64, f64)>,
+    /// latency) is currently running: `(device_seconds, utilization,
+    /// kernel name)`.
+    pending_kernel: Option<(f64, f64, String)>,
+    /// Label of the current activity (for the timeline).
+    cur_label: String,
+    /// Wall-clock start of the current activity.
+    cur_start: f64,
 }
 
 /// Replay `traces` (one per rank) on a node. Rank `r` uses GPU
 /// `r % gpus`. Returns the emergent wall time or an OOM if the combined
 /// peak footprints of the ranks sharing a GPU exceed its memory.
 pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResult, NodeOom> {
+    replay(traces, cfg, false).map(|(res, _)| res)
+}
+
+/// [`simulate_node`], additionally recording the contention-resolved
+/// wall-clock timeline of every rank and per-GPU occupancy samples.
+pub fn simulate_node_traced(
+    traces: &[RankTrace],
+    cfg: &NodeConfig,
+) -> Result<(NodeResult, NodeTimeline), NodeOom> {
+    replay(traces, cfg, true)
+}
+
+fn replay(
+    traces: &[RankTrace],
+    cfg: &NodeConfig,
+    record: bool,
+) -> Result<(NodeResult, NodeTimeline), NodeOom> {
     let gpus = cfg.gpus.max(1) as usize;
 
     // Memory feasibility: peak footprints of co-located ranks must fit.
@@ -134,8 +243,11 @@ pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResul
             activity: Activity::Done,
             finish: 0.0,
             pending_kernel: None,
+            cur_label: String::new(),
+            cur_start: 0.0,
         })
         .collect();
+    let mut timeline = NodeTimeline::default();
 
     let mut ranks_per_gpu = vec![0u32; gpus];
     for r in 0..traces.len() {
@@ -158,9 +270,20 @@ pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResul
     for r in 0..ranks.len() {
         advance_segment(&mut ranks, r, cfg, gpus);
         if let Activity::Kernel { gpu, remaining, .. } = &mut ranks[r].activity {
-            let extra = switch_demand(*gpu);
+            let gpu = *gpu;
+            let extra = switch_demand(gpu);
             *remaining += extra;
-            switch_seconds[*gpu] += extra;
+            switch_seconds[gpu] += extra;
+            if record && extra > 0.0 {
+                timeline.events.push(TimelineEvent {
+                    rank: r,
+                    gpu: Some(gpu),
+                    label: "context_switch".into(),
+                    kind: TimelineKind::ContextSwitch,
+                    start: 0.0,
+                    end: 0.0,
+                });
+            }
         }
     }
 
@@ -236,6 +359,15 @@ pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResul
             .enumerate()
             .map(|(r, s)| rate_of(r, s))
             .collect();
+        if record {
+            for (g, load) in gpu_load.iter().take(gpus).enumerate() {
+                timeline.occupancy.push(GpuSample {
+                    t: now,
+                    gpu: g,
+                    load: load.min(1.0),
+                });
+            }
+        }
         now += dt;
         for g in 0..gpus {
             let active = if gpu_load[g] > 0.0 {
@@ -257,11 +389,39 @@ pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResul
                 Activity::Done => false,
             };
             if finished {
+                if record {
+                    let (kind, gpu) = match &ranks[r].activity {
+                        Activity::Host { .. } => (TimelineKind::Host, None),
+                        Activity::Kernel { gpu, .. } => (TimelineKind::Kernel, Some(*gpu)),
+                        Activity::Transfer { gpu, .. } => (TimelineKind::Transfer, Some(*gpu)),
+                        Activity::Done => unreachable!("finished implies an activity"),
+                    };
+                    timeline.events.push(TimelineEvent {
+                        rank: r,
+                        gpu,
+                        label: ranks[r].cur_label.clone(),
+                        kind,
+                        start: ranks[r].cur_start,
+                        end: now,
+                    });
+                }
                 advance_segment(&mut ranks, r, cfg, gpus);
+                ranks[r].cur_start = now;
                 if let Activity::Kernel { gpu, remaining, .. } = &mut ranks[r].activity {
-                    let extra = switch_demand(*gpu);
+                    let gpu = *gpu;
+                    let extra = switch_demand(gpu);
                     *remaining += extra;
-                    switch_seconds[*gpu] += extra;
+                    switch_seconds[gpu] += extra;
+                    if record && extra > 0.0 {
+                        timeline.events.push(TimelineEvent {
+                            rank: r,
+                            gpu: Some(gpu),
+                            label: "context_switch".into(),
+                            kind: TimelineKind::ContextSwitch,
+                            start: now,
+                            end: now,
+                        });
+                    }
                 }
                 if matches!(ranks[r].activity, Activity::Done) && ranks[r].finish == 0.0 {
                     ranks[r].finish = now;
@@ -271,12 +431,15 @@ pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResul
     }
 
     let rank_seconds: Vec<f64> = ranks.iter().map(|s| s.finish).collect();
-    Ok(NodeResult {
-        wall_seconds: rank_seconds.iter().cloned().fold(0.0, f64::max),
-        rank_seconds,
-        gpu_busy,
-        switch_seconds,
-    })
+    Ok((
+        NodeResult {
+            wall_seconds: rank_seconds.iter().cloned().fold(0.0, f64::max),
+            rank_seconds,
+            gpu_busy,
+            switch_seconds,
+        },
+        timeline,
+    ))
 }
 
 /// Pop the next segment of rank `r` into its activity slot. A `Kernel`
@@ -285,7 +448,8 @@ pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResul
 fn advance_segment(ranks: &mut [RankState], r: usize, cfg: &NodeConfig, gpus: usize) {
     let gpu = r % gpus;
     let state = &mut ranks[r];
-    if let Some((remaining, util)) = state.pending_kernel.take() {
+    if let Some((remaining, util, name)) = state.pending_kernel.take() {
+        state.cur_label = name;
         state.activity = Activity::Kernel {
             gpu,
             remaining,
@@ -299,9 +463,12 @@ fn advance_segment(ranks: &mut [RankState], r: usize, cfg: &NodeConfig, gpus: us
         };
         state.next += 1;
         match seg {
-            Segment::Host { seconds, .. } => {
+            Segment::Host { seconds, label } => {
                 if *seconds > 0.0 {
-                    break Activity::Host { remaining: *seconds };
+                    state.cur_label.clone_from(label);
+                    break Activity::Host {
+                        remaining: *seconds,
+                    };
                 }
             }
             Segment::Kernel { profile, dispatch } => {
@@ -309,18 +476,24 @@ fn advance_segment(ranks: &mut [RankState], r: usize, cfg: &NodeConfig, gpus: us
                 state.pending_kernel = Some((
                     profile.device_seconds(&cfg.calib.gpu),
                     profile.solo_utilization(&cfg.calib.gpu).max(1e-6),
+                    profile.name.clone(),
                 ));
+                state.cur_label = format!("{}/dispatch", profile.name);
                 break Activity::Host {
                     remaining: lead.max(1e-12),
                 };
             }
-            Segment::Transfer { bytes, .. } => {
+            Segment::Transfer { bytes, label, .. } => {
                 let t = cfg.calib.gpu.pcie_latency + bytes / cfg.calib.gpu.pcie_bw;
+                state.cur_label.clone_from(label);
                 break Activity::Transfer { gpu, remaining: t };
             }
             Segment::DeviceAlloc { seconds } => {
                 if *seconds > 0.0 {
-                    break Activity::Host { remaining: *seconds };
+                    state.cur_label = "accel_data_alloc".into();
+                    break Activity::Host {
+                        remaining: *seconds,
+                    };
                 }
             }
         }
@@ -345,6 +518,7 @@ mod tests {
         RankTrace {
             segments,
             peak_device_bytes: peak,
+            ..RankTrace::default()
         }
     }
 
@@ -483,8 +657,10 @@ mod tests {
 
     #[test]
     fn mps_crowding_slows_shared_kernels() {
-        let mut cfg = NodeConfig::default();
-        cfg.gpus = 1;
+        let mut cfg = NodeConfig {
+            gpus: 1,
+            ..NodeConfig::default()
+        };
         cfg.calib.gpu.mps_crowding = 0.5;
         let items = cfg.calib.gpu.saturation_items * 0.05;
         let k = KernelProfile::uniform("k", items, 1e5, 8.0);
@@ -498,7 +674,9 @@ mod tests {
             )
         };
         let one = simulate_node(&[t()], &cfg).unwrap().wall_seconds;
-        let four = simulate_node(&[t(), t(), t(), t()], &cfg).unwrap().wall_seconds;
+        let four = simulate_node(&[t(), t(), t(), t()], &cfg)
+            .unwrap()
+            .wall_seconds;
         // Four clients: crowding 1 + 0.5*3 = 2.5x on otherwise-overlapping
         // kernels.
         assert!(four > 2.0 * one, "four {four} one {one}");
@@ -532,8 +710,10 @@ mod tests {
 
     #[test]
     fn transfers_share_the_link() {
-        let mut cfg = NodeConfig::default();
-        cfg.gpus = 1;
+        let cfg = NodeConfig {
+            gpus: 1,
+            ..NodeConfig::default()
+        };
         let bytes = 1e9;
         let t = || {
             trace_with(
@@ -552,8 +732,10 @@ mod tests {
 
     #[test]
     fn oom_when_colocated_ranks_exceed_memory() {
-        let mut cfg = NodeConfig::default();
-        cfg.gpus = 1;
+        let cfg = NodeConfig {
+            gpus: 1,
+            ..NodeConfig::default()
+        };
         let cap = cfg.calib.gpu.mem_bytes;
         let t = trace_with(vec![host(1.0)], cap / 2 + 1);
         let err = simulate_node(&[t.clone(), t], &cfg).unwrap_err();
@@ -591,5 +773,94 @@ mod tests {
         let cfg = NodeConfig::default();
         let res = simulate_node(&[RankTrace::default()], &cfg).unwrap();
         assert_eq!(res.wall_seconds, 0.0);
+    }
+
+    #[test]
+    fn timeline_covers_every_segment_in_wall_clock() {
+        let cfg = NodeConfig::default();
+        let k = KernelProfile::uniform("my_kernel", 1e9, 100.0, 8.0);
+        let t = trace_with(
+            vec![
+                host(1.0),
+                Segment::Kernel {
+                    profile: k,
+                    dispatch: 1e-4,
+                },
+                Segment::Transfer {
+                    bytes: 1e8,
+                    dir: TransferDir::DeviceToHost,
+                    label: "accel_data_update_host".into(),
+                },
+            ],
+            0,
+        );
+        let (res, tl) = simulate_node_traced(&[t], &cfg).unwrap();
+
+        // Host 1.0s, dispatch lead-in, kernel, transfer: 4 intervals.
+        assert_eq!(tl.events.len(), 4);
+        assert_eq!(tl.events[0].kind, TimelineKind::Host);
+        assert_eq!(tl.events[0].label, "h");
+        assert_eq!(tl.events[1].label, "my_kernel/dispatch");
+        assert_eq!(tl.events[2].kind, TimelineKind::Kernel);
+        assert_eq!(tl.events[2].label, "my_kernel");
+        assert_eq!(tl.events[2].gpu, Some(0));
+        assert_eq!(tl.events[3].kind, TimelineKind::Transfer);
+
+        // Intervals are contiguous and end at the wall time.
+        let mut t = 0.0;
+        for e in &tl.events {
+            assert!((e.start - t).abs() < 1e-9, "{} vs {t}", e.start);
+            assert!(e.end >= e.start);
+            t = e.end;
+        }
+        assert!((t - res.wall_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_tracks_busy_time() {
+        let mut cfg = cfg_no_crowding();
+        cfg.gpus = 1;
+        let k = KernelProfile::uniform("k", 1e9, 100.0, 8.0);
+        let t = trace_with(
+            vec![Segment::Kernel {
+                profile: k,
+                dispatch: 0.0,
+            }],
+            0,
+        );
+        let (res, tl) = simulate_node_traced(&[t], &cfg).unwrap();
+        assert!(!tl.occupancy.is_empty());
+        // Integrated occupancy equals the busy-seconds accounting.
+        let mean = tl.mean_occupancy(0, res.wall_seconds);
+        assert!(
+            (mean * res.wall_seconds - res.gpu_busy[0]).abs() < 1e-9,
+            "integrated {} vs busy {}",
+            mean * res.wall_seconds,
+            res.gpu_busy[0]
+        );
+    }
+
+    #[test]
+    fn context_switches_appear_in_the_timeline() {
+        let mut cfg = cfg_no_crowding();
+        cfg.gpus = 1;
+        cfg.mps = false;
+        let k = KernelProfile::uniform("k", 1e9, 100.0, 8.0);
+        let t = || {
+            trace_with(
+                vec![Segment::Kernel {
+                    profile: k.clone(),
+                    dispatch: 0.0,
+                }],
+                0,
+            )
+        };
+        let (_, tl) = simulate_node_traced(&[t(), t()], &cfg).unwrap();
+        let switches = tl
+            .events
+            .iter()
+            .filter(|e| e.kind == TimelineKind::ContextSwitch)
+            .count();
+        assert_eq!(switches, 2);
     }
 }

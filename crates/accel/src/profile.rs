@@ -106,9 +106,7 @@ mod tests {
     fn roofline_picks_the_binding_resource() {
         // Compute-bound kernel: many flops, few bytes.
         let k = KernelProfile::uniform("cb", 1e7, 1e4, 8.0);
-        assert!(
-            (k.device_seconds(&gpu()) - k.total_flops() / gpu().fp64_peak).abs() < 1e-12
-        );
+        assert!((k.device_seconds(&gpu()) - k.total_flops() / gpu().fp64_peak).abs() < 1e-12);
         // Memory-bound kernel: few flops, many bytes.
         let k = KernelProfile::uniform("mb", 1e7, 1.0, 64.0);
         assert!((k.device_seconds(&gpu()) - k.total_bytes() / gpu().hbm_bw).abs() < 1e-15);

@@ -62,11 +62,79 @@ impl Segment {
     }
 }
 
+/// Kind of a timed [`SpanEvent`] on a rank's virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Host-side computation.
+    Host,
+    /// Device kernel (dispatch + launch latency + solo device time).
+    Kernel,
+    /// PCIe transfer.
+    Transfer,
+    /// Device allocation (instant when pool-hit).
+    Alloc,
+    /// Device free (instant).
+    Free,
+    /// A failed allocation — device out of memory (instant).
+    Oom,
+    /// A phase opened with [`crate::context::Context::push_phase`]: spans
+    /// everything charged between push and pop.
+    Phase,
+}
+
+impl SpanKind {
+    /// Stable lowercase name, used by the trace exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Host => "host",
+            SpanKind::Kernel => "kernel",
+            SpanKind::Transfer => "transfer",
+            SpanKind::Alloc => "alloc",
+            SpanKind::Free => "free",
+            SpanKind::Oom => "oom",
+            SpanKind::Phase => "phase",
+        }
+    }
+
+    /// Whether this kind's duration is part of the rank's solo-estimate
+    /// wall time (phases overlap their contents; frees and OOMs are
+    /// instants).
+    pub fn is_timed(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Host | SpanKind::Kernel | SpanKind::Transfer | SpanKind::Alloc
+        )
+    }
+}
+
+/// One timed span (or instant event) on a rank's virtual clock. The
+/// [`crate::context::Context`] records one per charge, giving every
+/// [`Segment`] a start time, a duration and the phase scope it was charged
+/// under — the raw material for the Chrome-trace export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// What happened.
+    pub kind: SpanKind,
+    /// Accounting label (same vocabulary as [`Segment::label`]).
+    pub label: String,
+    /// `/`-joined phase stack at record time (empty at top level).
+    pub scope: String,
+    /// Virtual seconds since the rank started.
+    pub start: f64,
+    /// Span length in virtual seconds (0 for instants).
+    pub dur: f64,
+    /// Bytes involved (transfers, allocations, frees, OOM requests).
+    pub bytes: f64,
+}
+
 /// A whole rank's recorded timeline plus its peak device-memory footprint.
 #[derive(Debug, Clone, Default)]
 pub struct RankTrace {
     /// Ordered segments.
     pub segments: Vec<Segment>,
+    /// Timed spans mirroring `segments` on the virtual clock, plus phase
+    /// and memory events the segment list does not carry.
+    pub events: Vec<SpanEvent>,
     /// Peak bytes simultaneously resident on the device.
     pub peak_device_bytes: u64,
 }
@@ -102,6 +170,19 @@ impl RankTrace {
             })
             .sum()
     }
+
+    /// Summed span seconds per label over the timed event kinds — by
+    /// construction equal to the per-label `seconds` the owning context's
+    /// stats report (the trace-export round-trip invariant).
+    pub fn span_seconds_by_label(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut out = std::collections::BTreeMap::new();
+        for e in &self.events {
+            if e.kind.is_timed() {
+                *out.entry(e.label.clone()).or_insert(0.0) += e.dur;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +212,33 @@ mod tests {
 
     #[test]
     fn labels_match_the_papers_figure() {
-        assert_eq!(TransferDir::HostToDevice.label(), "accel_data_update_device");
+        assert_eq!(
+            TransferDir::HostToDevice.label(),
+            "accel_data_update_device"
+        );
         assert_eq!(TransferDir::DeviceToHost.label(), "accel_data_update_host");
+    }
+
+    #[test]
+    fn span_seconds_sum_timed_kinds_only() {
+        let mut t = RankTrace::default();
+        let span = |kind, label: &str, dur| SpanEvent {
+            kind,
+            label: label.into(),
+            scope: String::new(),
+            start: 0.0,
+            dur,
+            bytes: 0.0,
+        };
+        t.events.push(span(SpanKind::Host, "h", 1.0));
+        t.events.push(span(SpanKind::Host, "h", 2.0));
+        t.events.push(span(SpanKind::Kernel, "k", 4.0));
+        t.events.push(span(SpanKind::Phase, "phase", 100.0));
+        t.events.push(span(SpanKind::Oom, "oom", 50.0));
+        let by = t.span_seconds_by_label();
+        assert_eq!(by["h"], 3.0);
+        assert_eq!(by["k"], 4.0);
+        assert!(!by.contains_key("phase"));
+        assert!(!by.contains_key("oom"));
     }
 }

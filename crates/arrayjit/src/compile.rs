@@ -380,7 +380,15 @@ mod tests {
             .graph
             .nodes
             .iter()
-            .filter(|n| matches!(n.op, Op::Unary { op: crate::ir::UnaryOp::Sin, .. }))
+            .filter(|n| {
+                matches!(
+                    n.op,
+                    Op::Unary {
+                        op: crate::ir::UnaryOp::Sin,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(sin_count, 1);
     }
@@ -395,11 +403,13 @@ mod tests {
         let before = g.nodes.len();
         let p = compile("t", &g);
         assert!(p.graph.nodes.len() < before);
-        assert!(!p
-            .graph
-            .nodes
-            .iter()
-            .any(|n| matches!(n.op, Op::Unary { op: crate::ir::UnaryOp::Exp, .. })));
+        assert!(!p.graph.nodes.iter().any(|n| matches!(
+            n.op,
+            Op::Unary {
+                op: crate::ir::UnaryOp::Exp,
+                ..
+            }
+        )));
     }
 
     #[test]

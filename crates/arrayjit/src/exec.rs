@@ -128,7 +128,7 @@ fn evaluate(program: &Program, args: &[Array]) -> Vec<Array> {
         .collect()
 }
 
-fn get<'a>(values: &'a [Option<Array>], id: usize) -> &'a Array {
+fn get(values: &[Option<Array>], id: usize) -> &Array {
     values[id].as_ref().expect("operand evaluated before use")
 }
 
@@ -139,9 +139,13 @@ fn eval_node(node: &Node, values: &[Option<Array>], args: &[Array]) -> Array {
         Op::ConstI64(v) => Array::scalar_i64(*v),
         Op::Iota { len } => Array::from_i64((0..*len as i64).collect()),
         Op::Unary { op, a } => eval_unary(*op, get(values, *a), &node.shape),
-        Op::Binary { op, a, b } => {
-            eval_binary(*op, get(values, *a), get(values, *b), &node.shape, node.dtype)
-        }
+        Op::Binary { op, a, b } => eval_binary(
+            *op,
+            get(values, *a),
+            get(values, *b),
+            &node.shape,
+            node.dtype,
+        ),
         Op::Select {
             cond,
             on_true,
@@ -289,12 +293,12 @@ fn eval_binary(op: BinaryOp, a: &Array, b: &Array, shape: &Shape, dtype: DType) 
 
     if op.is_comparison() {
         let out: Vec<bool> = match (a.data(), b.data()) {
-            (Data::F64(av), Data::F64(bv)) => (0..n)
-                .map(|i| cmp_f64(op, av[ai(i)], bv[bi(i)]))
-                .collect(),
-            (Data::I64(av), Data::I64(bv)) => (0..n)
-                .map(|i| cmp_i64(op, av[ai(i)], bv[bi(i)]))
-                .collect(),
+            (Data::F64(av), Data::F64(bv)) => {
+                (0..n).map(|i| cmp_f64(op, av[ai(i)], bv[bi(i)])).collect()
+            }
+            (Data::I64(av), Data::I64(bv)) => {
+                (0..n).map(|i| cmp_i64(op, av[ai(i)], bv[bi(i)])).collect()
+            }
             _ => panic!("comparison on unsupported dtype pair"),
         };
         return Array::new(shape.clone(), Data::Bool(out));
@@ -345,7 +349,9 @@ fn eval_binary(op: BinaryOp, a: &Array, b: &Array, shape: &Shape, dtype: DType) 
                         _ => bv.iter().map(|&y| arith_f64(op, x, y)).collect(),
                     }
                 }
-                _ => (0..n).map(|i| arith_f64(op, av[ai(i)], bv[bi(i)])).collect(),
+                _ => (0..n)
+                    .map(|i| arith_f64(op, av[ai(i)], bv[bi(i)]))
+                    .collect(),
             };
             Array::new(shape.clone(), Data::F64(out))
         }
@@ -611,10 +617,7 @@ mod tests {
         accel::Context::new(NodeCalib::default())
     }
 
-    fn run_one(
-        build: impl Fn(&TraceContext) -> crate::trace::Tracer,
-        args: &[Array],
-    ) -> Array {
+    fn run_one(build: impl Fn(&TraceContext) -> crate::trace::Tracer, args: &[Array]) -> Array {
         let tc = TraceContext::new();
         let out = build(&tc);
         let g = tc.finish(&[&out]);
@@ -690,7 +693,7 @@ mod tests {
         let m = Array::from_f64_shaped(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
         let rows = run_one(
             |tc| tc.param(vec![2, 3], DType::F64).reduce_sum(1),
-            &[m.clone()],
+            std::slice::from_ref(&m),
         );
         assert_eq!(rows.as_f64(), &[6., 15.]);
         let cols = run_one(|tc| tc.param(vec![2, 3], DType::F64).reduce_sum(0), &[m]);
@@ -751,7 +754,12 @@ mod tests {
         let p = compile("slow", &g);
 
         let mut dev = ctx();
-        run(&mut dev, Backend::Device, &p, &[Array::zeros(vec![1_000_000])]);
+        run(
+            &mut dev,
+            Backend::Device,
+            &p,
+            &[Array::zeros(vec![1_000_000])],
+        );
         let mut cpu = ctx();
         run(&mut cpu, Backend::Cpu, &p, &[Array::zeros(vec![1_000_000])]);
         assert!(

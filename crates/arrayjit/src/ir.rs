@@ -251,7 +251,14 @@ mod tests {
         let mut g = Graph::default();
         let a = g.push(f64_node(Op::Param { index: 0 }, vec![4]));
         let b = g.push(f64_node(Op::Param { index: 1 }, vec![4]));
-        let c = g.push(f64_node(Op::Binary { op: BinaryOp::Add, a, b }, vec![4]));
+        let c = g.push(f64_node(
+            Op::Binary {
+                op: BinaryOp::Add,
+                a,
+                b,
+            },
+            vec![4],
+        ));
         g.outputs.push(c);
         assert_eq!(g.nodes.len(), 3);
         assert_eq!(g.node(c).op.operands(), vec![a, b]);

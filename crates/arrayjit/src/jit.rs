@@ -54,7 +54,12 @@ impl Jit {
     }
 
     /// Call with runtime arguments only.
-    pub fn call(&mut self, ctx: &mut accel::Context, backend: Backend, args: &[Array]) -> Vec<Array> {
+    pub fn call(
+        &mut self,
+        ctx: &mut accel::Context,
+        backend: Backend,
+        args: &[Array],
+    ) -> Vec<Array> {
         self.call_static(ctx, backend, args, &[])
     }
 
@@ -192,10 +197,7 @@ mod tests {
         let out = f.call(
             &mut c,
             Backend::Device,
-            &[
-                Array::from_f64(vec![5., 7.]),
-                Array::from_f64(vec![1., 2.]),
-            ],
+            &[Array::from_f64(vec![5., 7.]), Array::from_f64(vec![1., 2.])],
         );
         assert_eq!(out[0].as_f64(), &[6., 9.]);
         assert_eq!(out[1].as_f64(), &[4., 5.]);

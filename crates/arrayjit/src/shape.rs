@@ -42,6 +42,8 @@ impl Shape {
 
     /// NumPy broadcasting: align trailing axes; dimensions must match or be
     /// one. Returns the broadcast result shape or `None` if incompatible.
+    // The index loop aligns trailing axes of two ranks at once.
+    #[allow(clippy::needless_range_loop)]
     pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
         let rank = self.rank().max(other.rank());
         let mut out = vec![0usize; rank];
@@ -105,6 +107,8 @@ impl std::fmt::Display for Shape {
 
 /// Iterate the flat index of `src` (with shape `src_shape`) that corresponds
 /// to flat index `flat` of the broadcast shape `out_shape`.
+// The index loop walks paired out/src stride tables.
+#[allow(clippy::needless_range_loop)]
 pub fn broadcast_index(flat: usize, out_shape: &Shape, src_shape: &Shape) -> usize {
     let out_rank = out_shape.rank();
     let src_rank = src_shape.rank();

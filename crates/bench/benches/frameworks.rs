@@ -55,7 +55,11 @@ fn bench_pool(c: &mut Criterion) {
     for (label, pooled) in [("pool", true), ("raw", false)] {
         g.bench_function(label, |b| {
             let mut context = ctx();
-            let mut pool: Pool<f64> = if pooled { Pool::new() } else { Pool::disabled() };
+            let mut pool: Pool<f64> = if pooled {
+                Pool::new()
+            } else {
+                Pool::disabled()
+            };
             b.iter(|| {
                 let buf = pool.alloc(&mut context, 4096).unwrap();
                 pool.free(&mut context, buf);

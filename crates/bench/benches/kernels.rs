@@ -29,7 +29,7 @@ fn bench_impl(c: &mut Criterion, kernel: KernelId, kind: ImplKind, label: &str) 
                     exec.store.ensure_device(&mut context, &ws, id).unwrap();
                 }
             }
-            run_kernel(&mut context, &mut exec, &mut ws, kernel);
+            run_kernel(&mut context, &mut exec, &mut ws, kernel).expect("buffers resident");
         });
     });
     group.finish();

@@ -36,7 +36,7 @@ fn bench_healpix(c: &mut Criterion) {
     let points: Vec<(f64, f64)> = (0..4096)
         .map(|i| {
             let t = 0.01 + 3.12 * ((i * 37 % 4096) as f64 / 4096.0);
-            let p = 6.28 * (i as f64 / 4096.0);
+            let p = std::f64::consts::TAU * (i as f64 / 4096.0);
             (t, p)
         })
         .collect();

@@ -4,7 +4,7 @@
 //! "In early tests, this optimization resulted in a 40% speedup compared
 //! to a naive implementation."
 //!
-//! Usage: `ablation_data_movement [--scale <f>]`.
+//! Usage: `ablation_data_movement [--scale <f>] [--trace-out <path>]`.
 
 use repro_bench::report::{fmt_secs, scale_from_args, write_csv, Table};
 use repro_bench::{run_config, RunConfig};
@@ -23,6 +23,10 @@ fn main() {
             let mut cfg = RunConfig::new(Problem::medium(scale), kind, 16);
             cfg.movement = policy;
             let out = run_config(&cfg);
+            repro_bench::dump_trace_if_requested(
+                &out,
+                &format!("{kind:?}-{policy:?}").to_lowercase(),
+            );
             let t = out.runtime().expect("fits at 16 procs");
             if policy == MovementPolicy::Tracked {
                 speedup.0 = t;

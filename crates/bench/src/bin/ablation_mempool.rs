@@ -19,7 +19,11 @@ fn main() {
     let mut table = Table::new(&["allocator", "alloc_calls", "driver_seconds", "pool_hits"]);
     for pooled in [true, false] {
         let mut ctx = Context::new(NodeCalib::default());
-        let mut pool: Pool<f64> = if pooled { Pool::new() } else { Pool::disabled() };
+        let mut pool: Pool<f64> = if pooled {
+            Pool::new()
+        } else {
+            Pool::disabled()
+        };
         for _ in 0..rounds {
             let mut held = Vec::new();
             for &s in &sizes {

@@ -5,7 +5,7 @@
 //! between processes, effectively capping our performance to one process
 //! per device."
 //!
-//! Usage: `ablation_mps [--scale <f>]`.
+//! Usage: `ablation_mps [--scale <f>] [--trace-out <path>]`.
 
 use repro_bench::report::{fmt_secs, scale_from_args, write_csv, Table};
 use repro_bench::{run_config, RunConfig};
@@ -22,8 +22,12 @@ fn main() {
         on.mps = true;
         let mut off = on.clone();
         off.mps = false;
-        let t_on = run_config(&on).runtime().expect("fits");
-        let t_off = run_config(&off).runtime().expect("fits");
+        let out_on = run_config(&on);
+        let out_off = run_config(&off);
+        repro_bench::dump_trace_if_requested(&out_on, &format!("omp{procs}-mps"));
+        repro_bench::dump_trace_if_requested(&out_off, &format!("omp{procs}-nomps"));
+        let t_on = out_on.runtime().expect("fits");
+        let t_off = out_off.runtime().expect("fits");
         table.row(vec![
             procs.to_string(),
             fmt_secs(t_on),

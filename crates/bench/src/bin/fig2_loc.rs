@@ -14,12 +14,7 @@ fn main() {
     println!("Figure 2 — lines of code per implementation\n");
 
     let (cpu_kernel, _) = implementation_totals(&root, Implementation::Cpu);
-    let mut table = Table::new(&[
-        "implementation",
-        "kernel_loc",
-        "total_loc",
-        "kernel_vs_cpu",
-    ]);
+    let mut table = Table::new(&["implementation", "kernel_loc", "total_loc", "kernel_vs_cpu"]);
     for imp in Implementation::ALL {
         let (kernel, total) = implementation_totals(&root, imp);
         table.row(vec![

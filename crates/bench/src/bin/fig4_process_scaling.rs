@@ -10,7 +10,9 @@
 //! * OpenMP Target Offload tracks JAX but consistently ~20% faster,
 //!   peaking ~2.9×, fits at 1 process, OOMs at 64.
 //!
-//! Usage: `fig4_process_scaling [--scale <f>]` (default 1e-3).
+//! Usage: `fig4_process_scaling [--scale <f>] [--trace-out <path>]`
+//! (default scale 1e-3). With `--trace-out`, each configuration writes a
+//! Chrome-trace (`.json`) or JSONL (`.jsonl`) file named after it.
 
 use repro_bench::report::{fmt_ratio, fmt_secs, scale_from_args, write_csv, Table};
 use repro_bench::{run_config, RunConfig};
@@ -22,7 +24,13 @@ fn main() {
     println!("Figure 4 — runtime vs process count (medium, 1 node, scale {scale})\n");
 
     let mut table = Table::new(&[
-        "procs", "threads", "cpu_s", "jax_s", "omp_s", "jax_speedup", "omp_speedup",
+        "procs",
+        "threads",
+        "cpu_s",
+        "jax_s",
+        "omp_s",
+        "jax_speedup",
+        "omp_speedup",
     ]);
 
     for procs in [1u32, 2, 4, 8, 16, 32, 64] {
@@ -30,6 +38,9 @@ fn main() {
         let cpu = run_config(&RunConfig::new(problem.clone(), ImplKind::Cpu, procs));
         let jax = run_config(&RunConfig::new(problem.clone(), ImplKind::Jit, procs));
         let omp = run_config(&RunConfig::new(problem, ImplKind::OmpTarget, procs));
+        repro_bench::dump_trace_if_requested(&cpu, &format!("cpu{procs}"));
+        repro_bench::dump_trace_if_requested(&jax, &format!("jax{procs}"));
+        repro_bench::dump_trace_if_requested(&omp, &format!("omp{procs}"));
 
         let cpu_t = cpu.runtime();
         let fmt = |r: &repro_bench::RunOutcome| match r.runtime() {

@@ -6,7 +6,9 @@
 //! *slower* than the baseline and is quoted in text because it would dwarf
 //! the plot.
 //!
-//! Usage: `fig5_full_benchmark [--scale <f>]` (default 1e-3).
+//! Usage: `fig5_full_benchmark [--scale <f>] [--trace-out <path>]`
+//! (default scale 1e-3). With `--trace-out`, each implementation writes a
+//! Chrome-trace (`.json`) or JSONL (`.jsonl`) file named after it.
 
 use repro_bench::report::{fmt_ratio, fmt_secs, scale_from_args, write_csv, Table};
 use repro_bench::{run_config, RunConfig};
@@ -19,15 +21,16 @@ fn main() {
 
     let procs = 16u32;
     let runs = [
-        ("OpenMP CPU", ImplKind::Cpu),
-        ("JAX", ImplKind::Jit),
-        ("OpenMP Target Offload", ImplKind::OmpTarget),
-        ("JAX (CPU backend)", ImplKind::JitCpu),
+        ("OpenMP CPU", "cpu", ImplKind::Cpu),
+        ("JAX", "jax", ImplKind::Jit),
+        ("OpenMP Target Offload", "omp", ImplKind::OmpTarget),
+        ("JAX (CPU backend)", "jaxcpu", ImplKind::JitCpu),
     ];
 
     let mut results = Vec::new();
-    for (label, kind) in runs {
+    for (label, slug, kind) in runs {
         let out = run_config(&RunConfig::new(Problem::large(scale), kind, procs));
+        repro_bench::dump_trace_if_requested(&out, slug);
         results.push((label, out));
     }
     let cpu_t = results[0].1.runtime().expect("cpu baseline fits");

@@ -9,7 +9,9 @@
 //! on average; data movement barely registers, with JAX cheaper on device
 //! updates and resets.
 //!
-//! Usage: `fig6_per_kernel [--scale <f>]` (default 1e-3).
+//! Usage: `fig6_per_kernel [--scale <f>] [--trace-out <path>]` (default
+//! scale 1e-3). With `--trace-out`, each implementation writes a
+//! Chrome-trace (`.json`) or JSONL (`.jsonl`) file named after it.
 
 use std::collections::BTreeMap;
 
@@ -54,15 +56,33 @@ fn main() {
     println!("Figure 6 — per-kernel runtime (medium, 16 procs, scale {scale})\n");
 
     let procs = 16u32;
-    let cpu = run_config(&RunConfig::new(Problem::medium(scale), ImplKind::Cpu, procs));
-    let jax = run_config(&RunConfig::new(Problem::medium(scale), ImplKind::Jit, procs));
+    let cpu = run_config(&RunConfig::new(
+        Problem::medium(scale),
+        ImplKind::Cpu,
+        procs,
+    ));
+    let jax = run_config(&RunConfig::new(
+        Problem::medium(scale),
+        ImplKind::Jit,
+        procs,
+    ));
     let omp = run_config(&RunConfig::new(
         Problem::medium(scale),
         ImplKind::OmpTarget,
         procs,
     ));
+    repro_bench::dump_trace_if_requested(&cpu, "cpu");
+    repro_bench::dump_trace_if_requested(&jax, "jax");
+    repro_bench::dump_trace_if_requested(&omp, "omp");
 
-    let mut table = Table::new(&["kernel", "cpu_s", "jax_s", "omp_s", "jax_speedup", "omp_speedup"]);
+    let mut table = Table::new(&[
+        "kernel",
+        "cpu_s",
+        "jax_s",
+        "omp_s",
+        "jax_speedup",
+        "omp_speedup",
+    ]);
     let (mut sum_ratio, mut n_ratio) = (0.0, 0);
     // Device kernels share a GPU with the other ranks assigned to it; the
     // per-label times are solo estimates, so inflate them by the sharing

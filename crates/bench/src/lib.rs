@@ -7,6 +7,10 @@
 //!   rank's workload, run the pipelines recording traces, replay them
 //!   through the node-level discrete-event simulation, and price the
 //!   inter-node collectives;
+//! * [`metrics`] — per-label counters and duration percentiles reduced
+//!   from the span traces;
+//! * [`traceout`] — Chrome-trace-event / JSONL export behind the
+//!   binaries' `--trace-out <path>` flag, plus the round-trip parser;
 //! * [`report`] — aligned text tables and CSV emission under
 //!   `target/figures/`.
 //!
@@ -14,7 +18,31 @@
 //! one of the DESIGN.md ablations; `EXPERIMENTS.md` records paper-vs-
 //! measured for all of them.
 
+pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod traceout;
 
+pub use metrics::{summarize_events, LabelSummary};
 pub use runner::{run_config, RunConfig, RunOutcome};
+pub use traceout::{span_seconds_from_file, write_trace, TraceFormat};
+
+/// Shared `--trace-out <path>` handling for the fig binaries: when the
+/// flag is present, write `out`'s span trace (plus the node timeline, if
+/// the run fit) to the flag's path with `label` inserted before the
+/// extension — `trace.json` becomes `trace-<label>.json`, one file per
+/// configuration of a sweep — and print the per-label span metrics.
+pub fn dump_trace_if_requested(out: &RunOutcome, label: &str) {
+    let Some(base) = report::arg_value("--trace-out") else {
+        return;
+    };
+    let path = report::trace_path_for(&base, label);
+    match traceout::write_trace(&path, &out.traces, out.timeline.as_ref()) {
+        Ok(()) => println!("wrote trace {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+    println!(
+        "\nper-label span metrics — {label}\n{}",
+        report::metrics_table(&out.metrics).render()
+    );
+}

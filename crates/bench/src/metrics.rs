@@ -1,0 +1,125 @@
+//! Per-label metrics aggregated from the span traces of a run.
+//!
+//! [`summarize_events`] walks every rank's [`SpanEvent`] stream and
+//! reduces the timed spans into per-label counters and duration
+//! percentiles — the harness-side complement of the simulator's
+//! [`accel_sim::context::LabelStats`] totals, adding distribution shape
+//! (p50/p95/max) that totals alone cannot show.
+
+use std::collections::BTreeMap;
+
+use accel_sim::RankTrace;
+
+/// Summary of every timed span sharing one accounting label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LabelSummary {
+    /// Number of spans.
+    pub calls: u64,
+    /// Summed duration, seconds. Matches the simulator's per-label
+    /// `LabelStats::seconds` for the same run.
+    pub total_s: f64,
+    /// Mean span duration, seconds.
+    pub mean_s: f64,
+    /// Median span duration (nearest-rank), seconds.
+    pub p50_s: f64,
+    /// 95th-percentile span duration (nearest-rank), seconds.
+    pub p95_s: f64,
+    /// Longest span, seconds.
+    pub max_s: f64,
+    /// Summed payload bytes (transfers; zero otherwise).
+    pub bytes: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Reduce the timed spans of `traces` into per-label summaries.
+///
+/// Untimed events (phases, frees, OOM markers) are skipped, so for every
+/// label `total_s` agrees with the per-label seconds the simulator
+/// accumulated in `Context::stats()`.
+pub fn summarize_events(traces: &[RankTrace]) -> BTreeMap<String, LabelSummary> {
+    let mut durs: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut bytes: BTreeMap<String, f64> = BTreeMap::new();
+    for trace in traces {
+        for e in &trace.events {
+            if !e.kind.is_timed() {
+                continue;
+            }
+            durs.entry(e.label.clone()).or_default().push(e.dur);
+            *bytes.entry(e.label.clone()).or_default() += e.bytes;
+        }
+    }
+    durs.into_iter()
+        .map(|(label, mut ds)| {
+            ds.sort_by(|a, b| a.total_cmp(b));
+            let total: f64 = ds.iter().sum();
+            let summary = LabelSummary {
+                calls: ds.len() as u64,
+                total_s: total,
+                mean_s: total / ds.len() as f64,
+                p50_s: percentile(&ds, 50.0),
+                p95_s: percentile(&ds, 95.0),
+                max_s: *ds.last().unwrap(),
+                bytes: bytes.remove(&label).unwrap_or(0.0),
+            };
+            (label, summary)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::{SpanEvent, SpanKind};
+
+    fn span(kind: SpanKind, label: &str, dur: f64, bytes: f64) -> SpanEvent {
+        SpanEvent {
+            kind,
+            label: label.to_string(),
+            scope: String::new(),
+            start: 0.0,
+            dur,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let ds: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&ds, 50.0), 50.0);
+        assert_eq!(percentile(&ds, 95.0), 95.0);
+        assert_eq!(percentile(&[42.0], 95.0), 42.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summaries_aggregate_across_ranks_and_skip_untimed() {
+        let mut a = RankTrace::default();
+        a.events.push(span(SpanKind::Kernel, "scan_map", 2.0, 0.0));
+        a.events.push(span(SpanKind::Phase, "pipeline", 9.0, 0.0));
+        let mut b = RankTrace::default();
+        b.events.push(span(SpanKind::Kernel, "scan_map", 4.0, 0.0));
+        b.events.push(span(
+            SpanKind::Transfer,
+            "accel_data_update_device",
+            1.0,
+            8.0,
+        ));
+
+        let m = summarize_events(&[a, b]);
+        assert!(!m.contains_key("pipeline"));
+        let k = &m["scan_map"];
+        assert_eq!(k.calls, 2);
+        assert_eq!(k.total_s, 6.0);
+        assert_eq!(k.mean_s, 3.0);
+        assert_eq!(k.max_s, 4.0);
+        assert_eq!(m["accel_data_update_device"].bytes, 8.0);
+    }
+}

@@ -113,6 +113,45 @@ pub fn scale_from_args(default: f64) -> f64 {
     default
 }
 
+/// The value following `--<flag>` in argv, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// A per-label metrics summary table (Observability section of the
+/// README): calls, total and p50/p95/max span durations, bytes.
+pub fn metrics_table(metrics: &std::collections::BTreeMap<String, crate::LabelSummary>) -> Table {
+    let mut t = Table::new(&["label", "calls", "total_s", "p50_s", "p95_s", "max_s", "MB"]);
+    for (label, m) in metrics {
+        t.row(vec![
+            label.clone(),
+            m.calls.to_string(),
+            fmt_secs(m.total_s),
+            fmt_secs(m.p50_s),
+            fmt_secs(m.p95_s),
+            fmt_secs(m.max_s),
+            format!("{:.1}", m.bytes / 1e6),
+        ]);
+    }
+    t
+}
+
+/// Insert `label` before the extension of `path` so each configuration of
+/// a sweep gets its own trace file (`trace.json` → `trace-omp16.json`).
+pub fn trace_path_for(base: &str, label: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(base);
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let name = match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}-{label}.{ext}"),
+        None => format!("{stem}-{label}"),
+    };
+    path.with_file_name(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +182,19 @@ mod tests {
         let mut t = Table::new(&["x", "y"]);
         t.row(vec!["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn trace_paths_get_per_config_labels() {
+        assert_eq!(
+            trace_path_for("out/trace.json", "omp16"),
+            PathBuf::from("out/trace-omp16.json")
+        );
+        assert_eq!(
+            trace_path_for("trace.jsonl", "jit8"),
+            PathBuf::from("trace-jit8.jsonl")
+        );
+        assert_eq!(trace_path_for("trace", "x"), PathBuf::from("trace-x"));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use accel_sim::calib::NetCalib;
 use accel_sim::comm::allreduce_seconds;
 use accel_sim::context::LabelStats;
-use accel_sim::node::{simulate_node, NodeConfig, NodeOom};
+use accel_sim::node::{simulate_node_traced, NodeConfig, NodeOom};
 use accel_sim::Context;
 use rayon::prelude::*;
 use toast_core::dispatch::ImplKind;
@@ -33,18 +33,41 @@ pub struct RunConfig {
 impl RunConfig {
     /// The standard configuration for an implementation at a process
     /// count.
+    ///
+    /// # Panics
+    ///
+    /// `procs_per_node` must be a divisor of the node's 64 cores
+    /// (1, 2, 4, 8, 16, 32 or 64) so that processes × threads = 64
+    /// exactly — see [`RunConfig::threads`].
     pub fn new(problem: Problem, kind: ImplKind, procs_per_node: u32) -> Self {
-        Self {
+        let cfg = Self {
             problem,
             kind,
             procs_per_node,
             mps: true,
             movement: MovementPolicy::Tracked,
-        }
+        };
+        cfg.threads(); // validate eagerly
+        cfg
     }
 
-    fn threads(&self) -> u32 {
-        (64 / self.procs_per_node).max(1)
+    /// Threads per process: the node's 64 cores divided evenly among the
+    /// ranks, as in the paper's Fig. 4 sweep.
+    ///
+    /// # Panics
+    ///
+    /// If `procs_per_node` does not divide 64. The old behaviour silently
+    /// floored non-divisors (e.g. 3 procs → 21 threads, leaving a core
+    /// idle) and clamped > 64 procs to 1 thread each (oversubscribing the
+    /// node), both of which made configurations lie about the hardware
+    /// they model.
+    pub fn threads(&self) -> u32 {
+        assert!(
+            self.procs_per_node >= 1 && self.procs_per_node <= 64 && 64 % self.procs_per_node == 0,
+            "procs_per_node must divide the node's 64 cores, got {}",
+            self.procs_per_node
+        );
+        64 / self.procs_per_node
     }
 }
 
@@ -64,6 +87,15 @@ pub struct RunOutcome {
     pub gpu_busy: Vec<f64>,
     /// Bytes moved over PCIe, summed over ranks.
     pub transfer_bytes: f64,
+    /// Per-label span metrics (counts, total and p50/p95/max durations)
+    /// aggregated across ranks from the span traces.
+    pub metrics: BTreeMap<String, crate::metrics::LabelSummary>,
+    /// The raw per-rank span traces (virtual clocks), for export via
+    /// [`crate::traceout::write_trace`].
+    pub traces: Vec<accel_sim::RankTrace>,
+    /// The contention-resolved node timeline from the replay, when the
+    /// run fit on the device.
+    pub timeline: Option<accel_sim::NodeTimeline>,
 }
 
 impl RunOutcome {
@@ -104,7 +136,8 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
 
             let mut exec = ExecCtx::new(cfg.kind, cfg.threads());
             let host = cfg.problem.host_seconds_per_rank(&ws, procs);
-            let pipe = benchmark_pipeline_passes(host, cfg.problem.passes).with_policy(cfg.movement);
+            let pipe =
+                benchmark_pipeline_passes(host, cfg.problem.passes).with_policy(cfg.movement);
             for _obs in 0..cfg.problem.n_obs {
                 pipe.run(&mut ctx, &mut exec, &mut ws)
                     .map_err(|e| format!("rank {rank}: {e}"))?;
@@ -147,16 +180,16 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
         * allreduce_seconds(&net, total_ranks, map_bytes)
         * cfg.problem.scale;
 
-    let (node_wall, gpu_busy) = match rank_oom {
-        Some(e) => (Err(e), Vec::new()),
+    let (node_wall, gpu_busy, timeline) = match rank_oom {
+        Some(e) => (Err(e), Vec::new(), None),
         None => {
             let node_cfg = NodeConfig {
                 calib,
                 gpus: 4,
                 mps: cfg.mps,
             };
-            match simulate_node(&traces, &node_cfg) {
-                Ok(res) => (Ok(res.wall_seconds), res.gpu_busy),
+            match simulate_node_traced(&traces, &node_cfg) {
+                Ok((res, timeline)) => (Ok(res.wall_seconds), res.gpu_busy, Some(timeline)),
                 Err(NodeOom {
                     gpu,
                     demanded,
@@ -166,6 +199,7 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
                         "GPU {gpu}: ranks demand {demanded} B of {capacity} B"
                     )),
                     Vec::new(),
+                    None,
                 ),
             }
         }
@@ -174,9 +208,12 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
     RunOutcome {
         node_wall,
         comm_seconds,
+        metrics: crate::metrics::summarize_events(&traces),
         per_label,
         gpu_busy,
         transfer_bytes,
+        traces,
+        timeline,
     }
 }
 
@@ -233,5 +270,73 @@ mod tests {
         let out = run_config(&RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4));
         assert!(out.per_label.contains_key("accel_data_update_device"));
         assert!(out.transfer_bytes > 0.0);
+    }
+
+    #[test]
+    fn threads_divides_the_node_evenly() {
+        for procs in [1u32, 2, 4, 8, 16, 32, 64] {
+            let cfg = RunConfig::new(tiny_problem(), ImplKind::Cpu, procs);
+            assert_eq!(cfg.threads() * procs, 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn zero_procs_per_node_is_rejected() {
+        RunConfig::new(tiny_problem(), ImplKind::Cpu, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_divisor_procs_per_node_is_rejected() {
+        RunConfig::new(tiny_problem(), ImplKind::Cpu, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn oversubscribed_procs_per_node_is_rejected() {
+        RunConfig::new(tiny_problem(), ImplKind::Cpu, 128);
+    }
+
+    #[test]
+    fn metrics_totals_agree_with_label_stats() {
+        let out = run_config(&RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4));
+        assert!(out.timeline.is_some());
+        assert!(!out.traces.is_empty());
+        for (label, stat) in &out.per_label {
+            let m = out
+                .metrics
+                .get(label)
+                .unwrap_or_else(|| panic!("no span metrics for {label}"));
+            assert!(
+                (m.total_s - stat.seconds).abs() < 1e-9 * stat.seconds.max(1.0),
+                "{label}: spans {} vs stats {}",
+                m.total_s,
+                stat.seconds
+            );
+            assert_eq!(m.calls, stat.calls);
+        }
+    }
+
+    #[test]
+    fn written_trace_round_trips_per_label_seconds() {
+        // The acceptance check: export the trace a fig binary would write
+        // with `--trace-out`, parse it back, and match `run_config`'s
+        // per-label seconds.
+        let out = run_config(&RunConfig::new(tiny_problem(), ImplKind::Jit, 4));
+        for name in ["runner_roundtrip.json", "runner_roundtrip.jsonl"] {
+            let path = std::env::temp_dir().join(format!("repro_bench_{name}"));
+            crate::traceout::write_trace(&path, &out.traces, out.timeline.as_ref()).unwrap();
+            let parsed = crate::traceout::span_seconds_from_file(&path).unwrap();
+            for (label, stat) in &out.per_label {
+                let got = parsed.get(label).copied().unwrap_or(0.0);
+                assert!(
+                    (got - stat.seconds).abs() < 1e-9 * stat.seconds.max(1.0),
+                    "{name} {label}: {got} vs {}",
+                    stat.seconds
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
     }
 }

@@ -1,0 +1,319 @@
+//! Trace export: Chrome trace-event JSON or JSONL, selected by extension.
+//!
+//! The `fig*` binaries take `--trace-out <path>`; a `.jsonl` path writes
+//! one JSON object per line (easy to grep and post-process), anything
+//! else writes the Chrome trace-event array format loadable in
+//! `chrome://tracing` / Perfetto. Virtual per-rank spans go under pid 0,
+//! the contention-resolved node timeline under pid 1, and per-GPU
+//! occupancy as counter events under pid 2.
+//!
+//! The module also parses its own output ([`span_seconds_from_file`]) so
+//! tests can prove the export round-trips: summed per-label durations of
+//! the timed spans equal the simulator's per-label `LabelStats::seconds`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use accel_sim::{NodeTimeline, RankTrace, TimelineKind};
+
+/// On-disk trace flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON array (`chrome://tracing`, Perfetto).
+    Chrome,
+    /// One JSON object per line.
+    Jsonl,
+}
+
+impl TraceFormat {
+    /// Pick the format from a path's extension: `.jsonl` selects
+    /// [`TraceFormat::Jsonl`], everything else the Chrome format.
+    pub fn from_path(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("jsonl") => TraceFormat::Jsonl,
+            _ => TraceFormat::Chrome,
+        }
+    }
+}
+
+/// Minimal JSON string escape (labels are plain ASCII identifiers, but be
+/// safe about quotes and backslashes).
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn secs_to_us(s: f64) -> f64 {
+    s * 1e6
+}
+
+/// Render the trace in `format`.
+pub fn render_trace(
+    traces: &[RankTrace],
+    timeline: Option<&NodeTimeline>,
+    format: TraceFormat,
+) -> String {
+    match format {
+        TraceFormat::Chrome => render_chrome(traces, timeline),
+        TraceFormat::Jsonl => render_jsonl(traces, timeline),
+    }
+}
+
+fn render_chrome(traces: &[RankTrace], timeline: Option<&NodeTimeline>) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for (rank, trace) in traces.iter().enumerate() {
+        for e in &trace.events {
+            let ph = if e.dur > 0.0 || e.kind.is_timed() {
+                r#""ph":"X""#.to_string() + &format!(r#","dur":{}"#, secs_to_us(e.dur))
+            } else {
+                r#""ph":"i","s":"t""#.to_string()
+            };
+            lines.push(format!(
+                r#"{{"name":"{}","cat":"{}",{},"ts":{},"pid":0,"tid":{rank},"args":{{"scope":"{}","bytes":{}}}}}"#,
+                esc(&e.label),
+                e.kind.name(),
+                ph,
+                secs_to_us(e.start),
+                esc(&e.scope),
+                e.bytes,
+            ));
+        }
+    }
+    if let Some(tl) = timeline {
+        for e in &tl.events {
+            let gpu = e.gpu.map_or("null".to_string(), |g| g.to_string());
+            let ph = if e.kind == TimelineKind::ContextSwitch {
+                r#""ph":"i","s":"t""#.to_string()
+            } else {
+                format!(r#""ph":"X","dur":{}"#, secs_to_us(e.end - e.start))
+            };
+            lines.push(format!(
+                r#"{{"name":"{}","cat":"{}",{},"ts":{},"pid":1,"tid":{},"args":{{"gpu":{gpu}}}}}"#,
+                esc(&e.label),
+                e.kind.name(),
+                ph,
+                secs_to_us(e.start),
+                e.rank,
+            ));
+        }
+        for s in &tl.occupancy {
+            lines.push(format!(
+                r#"{{"name":"gpu{} occupancy","ph":"C","ts":{},"pid":2,"tid":0,"args":{{"load":{}}}}}"#,
+                s.gpu,
+                secs_to_us(s.t),
+                s.load,
+            ));
+        }
+    }
+    let mut out = String::from("[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
+fn render_jsonl(traces: &[RankTrace], timeline: Option<&NodeTimeline>) -> String {
+    let mut out = String::new();
+    for (rank, trace) in traces.iter().enumerate() {
+        for e in &trace.events {
+            writeln!(
+                out,
+                r#"{{"type":"span","rank":{rank},"kind":"{}","label":"{}","scope":"{}","start":{},"dur":{},"bytes":{}}}"#,
+                e.kind.name(),
+                esc(&e.label),
+                esc(&e.scope),
+                e.start,
+                e.dur,
+                e.bytes,
+            )
+            .unwrap();
+        }
+    }
+    if let Some(tl) = timeline {
+        for e in &tl.events {
+            let gpu = e.gpu.map_or("null".to_string(), |g| g.to_string());
+            writeln!(
+                out,
+                r#"{{"type":"timeline","rank":{},"gpu":{gpu},"kind":"{}","label":"{}","start":{},"end":{}}}"#,
+                e.rank,
+                e.kind.name(),
+                esc(&e.label),
+                e.start,
+                e.end,
+            )
+            .unwrap();
+        }
+        for s in &tl.occupancy {
+            writeln!(
+                out,
+                r#"{{"type":"occupancy","gpu":{},"t":{},"load":{}}}"#,
+                s.gpu, s.t, s.load,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Write the trace to `path`, format chosen from the extension.
+pub fn write_trace(
+    path: &Path,
+    traces: &[RankTrace],
+    timeline: Option<&NodeTimeline>,
+) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    fs::write(
+        path,
+        render_trace(traces, timeline, TraceFormat::from_path(path)),
+    )
+}
+
+/// Pull a `"field":"value"` string out of one JSON line. Line-based on
+/// purpose: both exporters emit one event per line, which keeps the
+/// round-trip parser free of a JSON dependency.
+fn json_str_field(line: &str, field: &str) -> Option<String> {
+    let key = format!(r#""{field}":""#);
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Pull a `"field":number` out of one JSON line.
+fn json_num_field(line: &str, field: &str) -> Option<f64> {
+    let key = format!(r#""{field}":"#);
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+const TIMED_KINDS: [&str; 4] = ["host", "kernel", "transfer", "alloc"];
+
+/// Parse a written trace back into summed per-label seconds over the
+/// timed virtual-rank spans — the round-trip check against
+/// `Context::stats()`. Handles both formats.
+pub fn span_seconds_from_file(path: &Path) -> io::Result<BTreeMap<String, f64>> {
+    let text = fs::read_to_string(path)?;
+    let mut out: BTreeMap<String, f64> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let (label, kind, dur_s) = if line.contains(r#""type":"span""#) {
+            // JSONL span record: start/dur in seconds.
+            let (Some(label), Some(kind), Some(dur)) = (
+                json_str_field(line, "label"),
+                json_str_field(line, "kind"),
+                json_num_field(line, "dur"),
+            ) else {
+                continue;
+            };
+            (label, kind, dur)
+        } else if line.contains(r#""pid":0"#) && line.contains(r#""ph":"X""#) {
+            // Chrome complete event on the virtual-rank track: µs.
+            let (Some(label), Some(kind), Some(dur)) = (
+                json_str_field(line, "name"),
+                json_str_field(line, "cat"),
+                json_num_field(line, "dur"),
+            ) else {
+                continue;
+            };
+            (label, kind, dur / 1e6)
+        } else {
+            continue;
+        };
+        if TIMED_KINDS.contains(&kind.as_str()) {
+            *out.entry(label).or_insert(0.0) += dur_s;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel_sim::{Context, NodeCalib};
+
+    fn traced_context() -> Context {
+        let mut ctx = Context::new(NodeCalib::default());
+        ctx.push_phase("test");
+        ctx.host_compute("setup", 0.25);
+        ctx.transfer_labeled(1048576.0, accel_sim::TransferDir::HostToDevice, "upload");
+        ctx.pop_phase();
+        ctx
+    }
+
+    #[test]
+    fn format_follows_extension() {
+        assert_eq!(
+            TraceFormat::from_path(Path::new("a/b.jsonl")),
+            TraceFormat::Jsonl
+        );
+        assert_eq!(
+            TraceFormat::from_path(Path::new("a/b.json")),
+            TraceFormat::Chrome
+        );
+        assert_eq!(
+            TraceFormat::from_path(Path::new("trace")),
+            TraceFormat::Chrome
+        );
+    }
+
+    #[test]
+    fn both_formats_round_trip_per_label_seconds() {
+        let ctx = traced_context();
+        let stats: BTreeMap<String, f64> = ctx
+            .stats()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.seconds))
+            .collect();
+        let traces = vec![ctx.into_trace()];
+
+        for name in ["roundtrip.json", "roundtrip.jsonl"] {
+            let path = std::env::temp_dir().join(format!("repro_bench_{name}"));
+            write_trace(&path, &traces, None).unwrap();
+            let parsed = span_seconds_from_file(&path).unwrap();
+            for (label, secs) in &stats {
+                let got = parsed.get(label).copied().unwrap_or(0.0);
+                assert!(
+                    (got - secs).abs() < 1e-9 * secs.max(1.0),
+                    "{name} {label}: {got} vs {secs}"
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn chrome_output_is_a_json_array_with_phase_events() {
+        let ctx = traced_context();
+        let out = render_chrome(&[ctx.into_trace()], None);
+        assert!(out.starts_with("[\n"));
+        assert!(out.trim_end().ends_with(']'));
+        assert!(out.contains(r#""cat":"phase""#));
+        assert!(out.contains(r#""name":"setup""#));
+    }
+
+    #[test]
+    fn escaped_labels_survive_the_round_trip() {
+        assert_eq!(
+            json_str_field(r#"{"label":"a\"b"}"#, "label").unwrap(),
+            "a\"b"
+        );
+        assert_eq!(json_num_field(r#"{"dur":2.5e-3}"#, "dur").unwrap(), 2.5e-3);
+    }
+}

@@ -246,7 +246,11 @@ mod tests {
         assert_eq!(iv.len(), 15);
         assert!(!iv.is_empty());
         assert!(Interval::new(5, 5).is_empty());
-        let ivs = vec![Interval::new(0, 10), Interval::new(10, 45), Interval::new(50, 51)];
+        let ivs = vec![
+            Interval::new(0, 10),
+            Interval::new(10, 45),
+            Interval::new(50, 51),
+        ];
         assert_eq!(max_interval_len(&ivs), 35);
         assert_eq!(max_interval_len(&[]), 0);
     }

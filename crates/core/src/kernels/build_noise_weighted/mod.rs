@@ -1,0 +1,27 @@
+//! `build_noise_weighted` — accumulate noise-weighted timestreams into a
+//! map.
+//!
+//! For every detector `d` and in-interval sample `s` with a valid pixel:
+//!
+//! ```text
+//! zmap[pixels[d, s], k] += det_weights[d] · signal[d, s] · weights[d, s, k]
+//! ```
+//!
+//! The scatter dual of [`scan_map`](crate::kernels::scan_map): the map
+//! writes are data-dependent, so the offload port needs atomic updates and
+//! the JIT port a functional scatter-add.
+
+pub mod cpu;
+pub mod jit;
+pub mod omp;
+
+use crate::dispatch::KernelId;
+
+/// Flops per sample: the det-weight · signal product plus nnz (= 3)
+/// multiply-adds into the map.
+pub(crate) const FLOPS_PER_ITEM: f64 = 7.0;
+/// Bytes per sample: 8 B pixel + 8 B signal + 24 B weights + 48 B
+/// uncoalesced map read-modify-write charged at 2x.
+pub(crate) const BYTES_PER_ITEM: f64 = 136.0;
+
+crate::kernels::dispatch_impl!(KernelId::BuildNoiseWeighted, build_noise_weighted);

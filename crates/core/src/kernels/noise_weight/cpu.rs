@@ -7,6 +7,8 @@ use crate::kernels::support::{charge_cpu, science_items};
 use crate::workspace::Workspace;
 
 /// Apply noise weights on the host.
+// Index loops mirror the ported C kernels' interval addressing.
+#[allow(clippy::needless_range_loop)]
 pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
     let n_samp = ws.obs.n_samples;
     let det_weights = &ws.obs.det_weights;
@@ -51,7 +53,11 @@ mod tests {
             let w = ws.obs.det_weights[det];
             for s in 0..80 {
                 let idx = det * 80 + s;
-                let in_iv = ws.obs.intervals.iter().any(|iv| s >= iv.start && s < iv.end);
+                let in_iv = ws
+                    .obs
+                    .intervals
+                    .iter()
+                    .any(|iv| s >= iv.start && s < iv.end);
                 let expected = if in_iv { before[idx] * w } else { before[idx] };
                 assert_eq!(ws.obs.signal[idx], expected, "det {det} s {s}");
             }

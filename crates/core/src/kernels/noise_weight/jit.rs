@@ -3,7 +3,7 @@
 use accel_sim::Context;
 use arrayjit::{Backend, Jit};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program.
@@ -19,21 +19,28 @@ pub fn build() -> Jit {
 }
 
 /// Run against resident arrays, replacing `Signal` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let mask = store.sample_mask(ctx, ws);
     let signal = store
-        .array(BufferId::Signal)
+        .array(BufferId::Signal)?
         .clone()
         .reshaped(vec![n_det, n_samp]);
-    let det_weights = store.array(BufferId::DetWeights).clone();
+    let det_weights = store.array(BufferId::DetWeights)?.clone();
 
     let out = jit
         .call(ctx, backend, &[signal, det_weights, mask])
         .remove(0)
         .reshaped(vec![n_det * n_samp]);
-    store.replace(BufferId::Signal, out);
+    store.replace(BufferId::Signal, out)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -56,7 +63,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::Signal);
         assert_eq!(ws_cpu.obs.signal, ws_jit.obs.signal);
@@ -72,7 +79,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws).unwrap();
         }
         // Exactly one device kernel: everything fused.
         assert_eq!(ctx.trace().kernel_count(), 1);

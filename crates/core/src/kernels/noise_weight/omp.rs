@@ -4,11 +4,11 @@ use accel_sim::Context;
 use offload::{target_parallel_for_collapse3, KernelSpec};
 
 use crate::kernels::support::guard_divergence;
-use crate::memory::OmpStore;
+use crate::memory::{OmpStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Launch the device kernel over resident buffers.
-pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let intervals = &ws.obs.intervals;
@@ -21,8 +21,8 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         guard_divergence(n_det, intervals),
     );
 
-    let det_weights = store.take(BufferId::DetWeights);
-    let mut signal = store.take(BufferId::Signal);
+    let det_weights = store.take(BufferId::DetWeights)?;
+    let mut signal = store.take(BufferId::Signal)?;
     {
         let w = det_weights.device_slice();
         let sig = signal.device_slice_mut();
@@ -42,6 +42,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
     }
     store.put_back(BufferId::DetWeights, det_weights);
     store.put_back(BufferId::Signal, signal);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -63,7 +64,7 @@ mod tests {
             store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
         }
         if let AccelStore::Omp(s) = &mut store {
-            run(&mut ctx, s, &ws_omp);
+            run(&mut ctx, s, &ws_omp).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_omp, BufferId::Signal);
         assert_eq!(ws_cpu.obs.signal, ws_omp.obs.signal);

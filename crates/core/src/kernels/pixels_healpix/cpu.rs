@@ -12,6 +12,8 @@ use crate::quat;
 use crate::workspace::Workspace;
 
 /// Pixelise detector pointing on the host.
+// Index loops mirror the ported C kernels' interval addressing.
+#[allow(clippy::needless_range_loop)]
 pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
     let n_samp = ws.obs.n_samples;
     let nside = ws.geom.nside;
@@ -26,7 +28,12 @@ pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
             for iv in intervals {
                 for s in iv.start..iv.end {
                     let base = det * n_samp * 4 + 4 * s;
-                    let q = [quats[base], quats[base + 1], quats[base + 2], quats[base + 3]];
+                    let q = [
+                        quats[base],
+                        quats[base + 1],
+                        quats[base + 2],
+                        quats[base + 3],
+                    ];
                     let dir = quat::rotate_z(q);
                     pix[s] = vec2pix_ring(nside, dir) as i64;
                 }
@@ -59,7 +66,11 @@ mod tests {
         for det in 0..2 {
             for s in 0..150 {
                 let p = ws.obs.pixels[det * 150 + s];
-                let in_iv = ws.obs.intervals.iter().any(|iv| s >= iv.start && s < iv.end);
+                let in_iv = ws
+                    .obs
+                    .intervals
+                    .iter()
+                    .any(|iv| s >= iv.start && s < iv.end);
                 if in_iv {
                     assert!((0..npix).contains(&p), "det {det} s {s}: pixel {p}");
                 } else {

@@ -14,7 +14,7 @@ use std::f64::consts::{FRAC_PI_2, PI};
 use accel_sim::Context;
 use arrayjit::{Backend, DType, Jit};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program. Statics: `[nside]`.
@@ -40,9 +40,7 @@ pub fn build() -> Jit {
         let norm = (&dx * &dx + &dy * &dy + &dz * &dz).sqrt();
         let z = (&dz / &norm).max_s(-1.0).min_s(1.0);
         let phi_raw = dy.atan2(&dx);
-        let phi = phi_raw
-            .lt_s(0.0)
-            .select(&phi_raw.add_s(2.0 * PI), &phi_raw);
+        let phi = phi_raw.lt_s(0.0).select(&phi_raw.add_s(2.0 * PI), &phi_raw);
         let tt = phi.div_s(FRAC_PI_2).rem_s(4.0);
         let za = z.abs();
 
@@ -79,7 +77,13 @@ pub fn build() -> Jit {
 }
 
 /// Run against resident arrays, replacing `Pixels` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     assert!(
@@ -89,11 +93,11 @@ pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut 
     assert!(!ws.geom.nest, "the arrayjit port implements RING ordering");
     let mask = store.sample_mask(ctx, ws);
     let quats = store
-        .array(BufferId::Quats)
+        .array(BufferId::Quats)?
         .clone()
         .reshaped(vec![n_det, n_samp, 4]);
     let old_pix = store
-        .array(BufferId::Pixels)
+        .array(BufferId::Pixels)?
         .clone()
         .reshaped(vec![n_det, n_samp]);
 
@@ -106,7 +110,8 @@ pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut 
         )
         .remove(0)
         .reshaped(vec![n_det * n_samp]);
-    store.replace(BufferId::Pixels, out);
+    store.replace(BufferId::Pixels, out)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -130,7 +135,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::Pixels);
         assert_eq!(ws_cpu.obs.pixels, ws_jit.obs.pixels);
@@ -148,7 +153,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws).unwrap();
         }
         let n_samp = 64.0;
         let total: f64 = ctx
@@ -187,7 +192,11 @@ mod tests {
         n_samp: usize,
     ) -> arrayjit::Array {
         match store {
-            AccelStore::Jit(s) => s.array(id).clone().reshaped(vec![n_det, n_samp, 4]),
+            AccelStore::Jit(s) => s
+                .array(id)
+                .unwrap()
+                .clone()
+                .reshaped(vec![n_det, n_samp, 4]),
             _ => unreachable!(),
         }
     }
@@ -196,6 +205,7 @@ mod tests {
         match store {
             AccelStore::Jit(s) => s
                 .array(BufferId::Pixels)
+                .unwrap()
                 .clone()
                 .reshaped(vec![n_det, n_samp]),
             _ => unreachable!(),

@@ -7,12 +7,12 @@ use offload::{target_parallel_for_collapse3, KernelSpec};
 use toast_healpix::ring::vec2pix_ring;
 
 use crate::kernels::support::guard_divergence;
-use crate::memory::OmpStore;
+use crate::memory::{OmpStore, ResidencyError};
 use crate::quat;
 use crate::workspace::{BufferId, Workspace};
 
 /// Launch the device kernel over resident buffers.
-pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let nside = ws.geom.nside;
@@ -26,10 +26,10 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         super::OMP_DIVERGENCE * guard_divergence(n_det, intervals),
     );
 
-    let quats = store.take(BufferId::Quats);
+    let quats = store.take(BufferId::Quats)?;
     {
         let q = quats.device_slice();
-        let pix = store.pixels_mut().device_slice_mut();
+        let pix = store.pixels_mut()?.device_slice_mut();
         target_parallel_for_collapse3(
             ctx,
             &spec,
@@ -47,6 +47,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         );
     }
     store.put_back(BufferId::Quats, quats);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -69,7 +70,7 @@ mod tests {
             store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
         }
         if let AccelStore::Omp(s) = &mut store {
-            run(&mut ctx, s, &ws_omp);
+            run(&mut ctx, s, &ws_omp).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_omp, BufferId::Pixels);
         assert_eq!(ws_cpu.obs.pixels, ws_omp.obs.pixels);

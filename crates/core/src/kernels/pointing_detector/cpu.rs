@@ -80,8 +80,8 @@ mod tests {
                     ];
                     let expected = crate::quat::mul(b, f);
                     let base = det * 100 * 4 + 4 * s;
-                    for c in 0..4 {
-                        assert_eq!(ws.obs.quats[base + c], expected[c], "det {det} s {s} c {c}");
+                    for (c, e) in expected.iter().enumerate() {
+                        assert_eq!(ws.obs.quats[base + c], *e, "det {det} s {s} c {c}");
                     }
                 }
             }
@@ -96,7 +96,11 @@ mod tests {
         let mut ctx = Context::new(NodeCalib::default());
         run(&mut ctx, 1, &mut ws);
         for s in 0..100 {
-            let in_iv = ws.obs.intervals.iter().any(|iv| s >= iv.start && s < iv.end);
+            let in_iv = ws
+                .obs
+                .intervals
+                .iter()
+                .any(|iv| s >= iv.start && s < iv.end);
             if !in_iv {
                 assert_eq!(ws.obs.quats[4 * s], 9.0, "gap sample {s} was written");
             }

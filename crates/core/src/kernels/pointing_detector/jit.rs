@@ -6,7 +6,7 @@
 use accel_sim::Context;
 use arrayjit::{Backend, Jit, Tracer};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program (compiled lazily per signature).
@@ -38,20 +38,26 @@ pub fn build() -> Jit {
 }
 
 /// Run against resident arrays, replacing `Quats` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let mask = store.sample_mask(ctx, ws);
     let bore = store
-        .array(BufferId::Boresight)
+        .array(BufferId::Boresight)?
         .clone()
         .reshaped(vec![n_samp, 4]);
     let fp = store
-        .array(BufferId::FpQuats)
+        .array(BufferId::FpQuats)?
         .clone()
         .reshaped(vec![n_det, 4]);
     let old = store
-        .array(BufferId::Quats)
+        .array(BufferId::Quats)?
         .clone()
         .reshaped(vec![n_det, n_samp, 4]);
 
@@ -59,7 +65,8 @@ pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut 
         .call(ctx, backend, &[bore, fp, old, mask])
         .remove(0)
         .reshaped(vec![n_det * n_samp * 4]);
-    store.replace(BufferId::Quats, out);
+    store.replace(BufferId::Quats, out)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -82,7 +89,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, backend, s, &mut jit, &ws);
+            run(&mut ctx, backend, s, &mut jit, &ws).unwrap();
         }
         store.update_host(&mut ctx, &mut ws, BufferId::Quats);
         (ws, ctx)

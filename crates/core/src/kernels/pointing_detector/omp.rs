@@ -6,12 +6,12 @@ use accel_sim::Context;
 use offload::{target_parallel_for_collapse3, KernelSpec};
 
 use crate::kernels::support::guard_divergence;
-use crate::memory::OmpStore;
+use crate::memory::{OmpStore, ResidencyError};
 use crate::quat;
 use crate::workspace::{BufferId, Workspace};
 
 /// Launch the device kernel over resident buffers.
-pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let intervals = &ws.obs.intervals;
@@ -24,9 +24,9 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         guard_divergence(n_det, intervals),
     );
 
-    let boresight = store.take(BufferId::Boresight);
-    let fp_quats = store.take(BufferId::FpQuats);
-    let mut quats = store.take(BufferId::Quats);
+    let boresight = store.take(BufferId::Boresight)?;
+    let fp_quats = store.take(BufferId::FpQuats)?;
+    let mut quats = store.take(BufferId::Quats)?;
     {
         let bore = boresight.device_slice();
         let fp = fp_quats.device_slice();
@@ -41,8 +41,18 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
                 if s >= iv.end {
                     return; // guard: past this interval's end (no-op lane)
                 }
-                let b = [bore[4 * s], bore[4 * s + 1], bore[4 * s + 2], bore[4 * s + 3]];
-                let f = [fp[4 * det], fp[4 * det + 1], fp[4 * det + 2], fp[4 * det + 3]];
+                let b = [
+                    bore[4 * s],
+                    bore[4 * s + 1],
+                    bore[4 * s + 2],
+                    bore[4 * s + 3],
+                ];
+                let f = [
+                    fp[4 * det],
+                    fp[4 * det + 1],
+                    fp[4 * det + 2],
+                    fp[4 * det + 3],
+                ];
                 let q = quat::mul(b, f);
                 let base = det * n_samp * 4 + 4 * s;
                 out[base..base + 4].copy_from_slice(&q);
@@ -52,6 +62,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
     store.put_back(BufferId::Boresight, boresight);
     store.put_back(BufferId::FpQuats, fp_quats);
     store.put_back(BufferId::Quats, quats);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -74,7 +85,7 @@ mod tests {
             store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
         }
         if let AccelStore::Omp(s) = &mut store {
-            run(&mut ctx, s, &ws_omp);
+            run(&mut ctx, s, &ws_omp).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_omp, BufferId::Quats);
 

@@ -73,9 +73,20 @@ mod tests {
         for det in 0..2 {
             for s in 0..100 {
                 let idx = det * 100 + s;
-                let in_iv = ws.obs.intervals.iter().any(|iv| s >= iv.start && s < iv.end);
-                let expected = if in_iv { before[idx] + 5.0 } else { before[idx] };
-                assert!((ws.obs.signal[idx] - expected).abs() < 1e-12, "det {det} s {s}");
+                let in_iv = ws
+                    .obs
+                    .intervals
+                    .iter()
+                    .any(|iv| s >= iv.start && s < iv.end);
+                let expected = if in_iv {
+                    before[idx] + 5.0
+                } else {
+                    before[idx]
+                };
+                assert!(
+                    (ws.obs.signal[idx] - expected).abs() < 1e-12,
+                    "det {det} s {s}"
+                );
             }
         }
     }

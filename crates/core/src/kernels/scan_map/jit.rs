@@ -4,7 +4,7 @@
 use accel_sim::Context;
 use arrayjit::{Backend, DType, Jit};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program. Statics: `[nnz]`.
@@ -12,7 +12,7 @@ pub fn build() -> Jit {
     Jit::new("scan_map", |_tc, params, statics| {
         let (map, pixels, weights, signal, mask) =
             (&params[0], &params[1], &params[2], &params[3], &params[4]);
-        let nnz = statics[0] as i64;
+        let nnz = statics[0];
         let n_samp = mask.shape().dim(0);
 
         // Clamp invalid (-1) pixels to 0; their contribution is masked out.
@@ -33,30 +33,42 @@ pub fn build() -> Jit {
 }
 
 /// Run against resident arrays, replacing `Signal` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let nnz = ws.geom.nnz;
     let mask = store.sample_mask(ctx, ws);
-    let map = store.array(BufferId::SkyMap).clone();
+    let map = store.array(BufferId::SkyMap)?.clone();
     let pixels = store
-        .array(BufferId::Pixels)
+        .array(BufferId::Pixels)?
         .clone()
         .reshaped(vec![n_det, n_samp]);
     let weights = store
-        .array(BufferId::Weights)
+        .array(BufferId::Weights)?
         .clone()
         .reshaped(vec![n_det, n_samp, nnz]);
     let signal = store
-        .array(BufferId::Signal)
+        .array(BufferId::Signal)?
         .clone()
         .reshaped(vec![n_det, n_samp]);
 
     let out = jit
-        .call_static(ctx, backend, &[map, pixels, weights, signal, mask], &[nnz as i64])
+        .call_static(
+            ctx,
+            backend,
+            &[map, pixels, weights, signal, mask],
+            &[nnz as i64],
+        )
         .remove(0)
         .reshaped(vec![n_det * n_samp]);
-    store.replace(BufferId::Signal, out);
+    store.replace(BufferId::Signal, out)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -77,12 +89,17 @@ mod tests {
         super::super::cpu::run(&mut ctx, 2, &mut ws_cpu);
 
         let mut store = AccelStore::jit();
-        for id in [BufferId::SkyMap, BufferId::Weights, BufferId::Signal, BufferId::Pixels] {
+        for id in [
+            BufferId::SkyMap,
+            BufferId::Weights,
+            BufferId::Signal,
+            BufferId::Pixels,
+        ] {
             store.ensure_device(&mut ctx, &ws_jit, id).unwrap();
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::Signal);
         for (a, b) in ws_cpu.obs.signal.iter().zip(&ws_jit.obs.signal) {
@@ -95,12 +112,17 @@ mod tests {
         let ws = test_workspace(1, 50, 8);
         let mut ctx = Context::new(NodeCalib::default());
         let mut store = AccelStore::jit();
-        for id in [BufferId::SkyMap, BufferId::Weights, BufferId::Signal, BufferId::Pixels] {
+        for id in [
+            BufferId::SkyMap,
+            BufferId::Weights,
+            BufferId::Signal,
+            BufferId::Pixels,
+        ] {
             store.ensure_device(&mut ctx, &ws, id).unwrap();
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws).unwrap();
         }
         assert!(ctx.stats().keys().any(|k| k.starts_with("scan_map/gather")));
     }

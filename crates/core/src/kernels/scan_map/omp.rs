@@ -4,11 +4,11 @@ use accel_sim::Context;
 use offload::{target_parallel_for_collapse3, KernelSpec};
 
 use crate::kernels::support::guard_divergence;
-use crate::memory::OmpStore;
+use crate::memory::{OmpStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Launch the device kernel over resident buffers.
-pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let nnz = ws.geom.nnz;
@@ -22,13 +22,13 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         guard_divergence(n_det, intervals),
     );
 
-    let map = store.take(BufferId::SkyMap);
-    let weights = store.take(BufferId::Weights);
-    let mut signal = store.take(BufferId::Signal);
+    let map = store.take(BufferId::SkyMap)?;
+    let weights = store.take(BufferId::Weights)?;
+    let mut signal = store.take(BufferId::Signal)?;
     {
         let m = map.device_slice();
         let w = weights.device_slice();
-        let pix = store.pixels().device_slice();
+        let pix = store.pixels()?.device_slice();
         let sig = signal.device_slice_mut();
         target_parallel_for_collapse3(
             ctx,
@@ -57,6 +57,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
     store.put_back(BufferId::SkyMap, map);
     store.put_back(BufferId::Weights, weights);
     store.put_back(BufferId::Signal, signal);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -77,11 +78,16 @@ mod tests {
         super::super::cpu::run(&mut ctx, 2, &mut ws_cpu);
 
         let mut store = AccelStore::omp();
-        for id in [BufferId::SkyMap, BufferId::Weights, BufferId::Signal, BufferId::Pixels] {
+        for id in [
+            BufferId::SkyMap,
+            BufferId::Weights,
+            BufferId::Signal,
+            BufferId::Pixels,
+        ] {
             store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
         }
         if let AccelStore::Omp(s) = &mut store {
-            run(&mut ctx, s, &ws_omp);
+            run(&mut ctx, s, &ws_omp).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_omp, BufferId::Signal);
         assert_eq!(ws_cpu.obs.signal, ws_omp.obs.signal);

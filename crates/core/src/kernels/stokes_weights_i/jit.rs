@@ -4,7 +4,7 @@
 use accel_sim::Context;
 use arrayjit::{Backend, Jit};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program. Statics: `[nnz]`.
@@ -31,13 +31,19 @@ pub fn build() -> Jit {
 }
 
 /// Run against resident arrays, replacing `Weights` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let nnz = ws.geom.nnz;
     let mask = store.sample_mask(ctx, ws);
     let old = store
-        .array(BufferId::Weights)
+        .array(BufferId::Weights)?
         .clone()
         .reshaped(vec![n_det, n_samp, nnz]);
 
@@ -45,7 +51,8 @@ pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut 
         .call_static(ctx, backend, &[old, mask], &[nnz as i64])
         .remove(0)
         .reshaped(vec![n_det * n_samp * nnz]);
-    store.replace(BufferId::Weights, out);
+    store.replace(BufferId::Weights, out)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -66,10 +73,12 @@ mod tests {
         super::super::cpu::run(&mut ctx, 2, &mut ws_cpu);
 
         let mut store = AccelStore::jit();
-        store.ensure_device(&mut ctx, &ws_jit, BufferId::Weights).unwrap();
+        store
+            .ensure_device(&mut ctx, &ws_jit, BufferId::Weights)
+            .unwrap();
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::Weights);
         assert_eq!(ws_cpu.obs.weights, ws_jit.obs.weights);

@@ -4,11 +4,11 @@ use accel_sim::Context;
 use offload::{target_parallel_for_collapse3, KernelSpec};
 
 use crate::kernels::support::guard_divergence;
-use crate::memory::OmpStore;
+use crate::memory::{OmpStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Launch the device kernel over resident buffers.
-pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let nnz = ws.geom.nnz;
@@ -22,7 +22,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         guard_divergence(n_det, intervals),
     );
 
-    let weights = store.f64_buf_mut(BufferId::Weights);
+    let weights = store.f64_buf_mut(BufferId::Weights)?;
     let w = weights.device_slice_mut();
     target_parallel_for_collapse3(
         ctx,
@@ -37,6 +37,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
             w[det * n_samp * nnz + nnz * s] = 1.0;
         },
     );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -57,9 +58,11 @@ mod tests {
         super::super::cpu::run(&mut ctx, 2, &mut ws_cpu);
 
         let mut store = AccelStore::omp();
-        store.ensure_device(&mut ctx, &ws_omp, BufferId::Weights).unwrap();
+        store
+            .ensure_device(&mut ctx, &ws_omp, BufferId::Weights)
+            .unwrap();
         if let AccelStore::Omp(s) = &mut store {
-            run(&mut ctx, s, &ws_omp);
+            run(&mut ctx, s, &ws_omp).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_omp, BufferId::Weights);
         assert_eq!(ws_cpu.obs.weights, ws_omp.obs.weights);

@@ -23,7 +23,12 @@ pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
             for iv in intervals {
                 for s in iv.start..iv.end {
                     let base = det * n_samp * 4 + 4 * s;
-                    let q = [quats[base], quats[base + 1], quats[base + 2], quats[base + 3]];
+                    let q = [
+                        quats[base],
+                        quats[base + 1],
+                        quats[base + 2],
+                        quats[base + 3],
+                    ];
                     let w = super::weights_for(q, epsilon);
                     wout[3 * s..3 * s + 3].copy_from_slice(&w);
                 }
@@ -58,9 +63,8 @@ mod tests {
                     let base = det * 90 * 3 + 3 * s;
                     assert_eq!(ws.obs.weights[base], 1.0);
                     let eps = ws.obs.det_epsilon[det];
-                    let p = (ws.obs.weights[base + 1].powi(2)
-                        + ws.obs.weights[base + 2].powi(2))
-                    .sqrt();
+                    let p = (ws.obs.weights[base + 1].powi(2) + ws.obs.weights[base + 2].powi(2))
+                        .sqrt();
                     assert!((p - eps).abs() < 1e-12, "pol norm {p} vs eps {eps}");
                 }
             }

@@ -4,7 +4,7 @@
 use accel_sim::Context;
 use arrayjit::{Backend, Jit};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program.
@@ -42,18 +42,24 @@ pub fn build() -> Jit {
 }
 
 /// Run against resident arrays, replacing `Weights` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     assert_eq!(ws.geom.nnz, 3, "stokes_weights_IQU needs nnz == 3");
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let mask = store.sample_mask(ctx, ws);
     let quats = store
-        .array(BufferId::Quats)
+        .array(BufferId::Quats)?
         .clone()
         .reshaped(vec![n_det, n_samp, 4]);
-    let eps = store.array(BufferId::DetEpsilon).clone();
+    let eps = store.array(BufferId::DetEpsilon)?.clone();
     let old = store
-        .array(BufferId::Weights)
+        .array(BufferId::Weights)?
         .clone()
         .reshaped(vec![n_det, n_samp, 3]);
 
@@ -61,7 +67,8 @@ pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut 
         .call(ctx, backend, &[quats, eps, old, mask])
         .remove(0)
         .reshaped(vec![n_det * n_samp * 3]);
-    store.replace(BufferId::Weights, out);
+    store.replace(BufferId::Weights, out)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -85,7 +92,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::Weights);
         assert_eq!(ws_cpu.obs.weights, ws_jit.obs.weights);

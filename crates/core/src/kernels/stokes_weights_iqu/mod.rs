@@ -62,7 +62,10 @@ mod tests {
     fn rotating_the_detector_by_90_degrees_flips_qu() {
         // ψ → ψ + π/2 means cos 2ψ → −cos 2ψ and sin 2ψ → −sin 2ψ.
         let base = quat::from_axis_angle([0.0, 1.0, 0.0], 0.8);
-        let spun = quat::mul(base, quat::from_axis_angle([0.0, 0.0, 1.0], std::f64::consts::FRAC_PI_2));
+        let spun = quat::mul(
+            base,
+            quat::from_axis_angle([0.0, 0.0, 1.0], std::f64::consts::FRAC_PI_2),
+        );
         let w0 = weights_for(base, 1.0);
         let w1 = weights_for(spun, 1.0);
         assert!((w0[1] + w1[1]).abs() < 1e-10, "{w0:?} vs {w1:?}");

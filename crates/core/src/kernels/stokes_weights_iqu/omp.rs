@@ -5,11 +5,11 @@ use accel_sim::Context;
 use offload::{target_parallel_for_collapse3, KernelSpec};
 
 use crate::kernels::support::guard_divergence;
-use crate::memory::OmpStore;
+use crate::memory::{OmpStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Launch the device kernel over resident buffers.
-pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) -> Result<(), ResidencyError> {
     assert_eq!(ws.geom.nnz, 3, "stokes_weights_IQU needs nnz == 3");
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
@@ -23,9 +23,9 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         guard_divergence(n_det, intervals),
     );
 
-    let quats = store.take(BufferId::Quats);
-    let eps = store.take(BufferId::DetEpsilon);
-    let mut weights = store.take(BufferId::Weights);
+    let quats = store.take(BufferId::Quats)?;
+    let eps = store.take(BufferId::DetEpsilon)?;
+    let mut weights = store.take(BufferId::Weights)?;
     {
         let q = quats.device_slice();
         let e = eps.device_slice();
@@ -51,6 +51,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
     store.put_back(BufferId::Quats, quats);
     store.put_back(BufferId::DetEpsilon, eps);
     store.put_back(BufferId::Weights, weights);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -73,7 +74,7 @@ mod tests {
             store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
         }
         if let AccelStore::Omp(s) = &mut store {
-            run(&mut ctx, s, &ws_omp);
+            run(&mut ctx, s, &ws_omp).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_omp, BufferId::Weights);
         assert_eq!(ws_cpu.obs.weights, ws_omp.obs.weights);

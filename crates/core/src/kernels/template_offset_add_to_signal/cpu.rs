@@ -52,9 +52,17 @@ mod tests {
         for det in 0..2 {
             for s in 0..100 {
                 let idx = det * 100 + s;
-                let in_iv = ws.obs.intervals.iter().any(|iv| s >= iv.start && s < iv.end);
+                let in_iv = ws
+                    .obs
+                    .intervals
+                    .iter()
+                    .any(|iv| s >= iv.start && s < iv.end);
                 let amp = ws.amplitudes[det * ws.n_amp + s / ws.step_length];
-                let expected = if in_iv { before[idx] + amp } else { before[idx] };
+                let expected = if in_iv {
+                    before[idx] + amp
+                } else {
+                    before[idx]
+                };
                 assert_eq!(ws.obs.signal[idx], expected, "det {det} s {s}");
             }
         }

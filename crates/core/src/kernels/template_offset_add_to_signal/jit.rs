@@ -3,7 +3,7 @@
 use accel_sim::Context;
 use arrayjit::{Backend, Jit};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program. Statics: `[step_length, n_amp]`.
@@ -17,10 +17,7 @@ pub fn build() -> Jit {
 
         // Flat amplitude index per (det, sample): det * n_amp + s / step.
         let step_idx = tc.iota(n_samp).div_s_i(step).reshape(vec![1, n_samp]);
-        let det_idx = tc
-            .iota(n_det)
-            .mul_s_i(n_amp)
-            .reshape(vec![n_det, 1]);
+        let det_idx = tc.iota(n_det).mul_s_i(n_amp).reshape(vec![n_det, 1]);
         let flat = det_idx + step_idx; // [n_det, n_samp]
         let amp = amplitudes.gather(&flat);
         let gate = mask.reshape(vec![1, n_samp]);
@@ -29,15 +26,21 @@ pub fn build() -> Jit {
 }
 
 /// Run against resident arrays, replacing `Signal` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let mask = store.sample_mask(ctx, ws);
     let signal = store
-        .array(BufferId::Signal)
+        .array(BufferId::Signal)?
         .clone()
         .reshaped(vec![n_det, n_samp]);
-    let amplitudes = store.array(BufferId::Amplitudes).clone();
+    let amplitudes = store.array(BufferId::Amplitudes)?.clone();
 
     let out = jit
         .call_static(
@@ -48,7 +51,8 @@ pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut 
         )
         .remove(0)
         .reshaped(vec![n_det * n_samp]);
-    store.replace(BufferId::Signal, out);
+    store.replace(BufferId::Signal, out)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -71,7 +75,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::Signal);
         for (a, b) in ws_cpu.obs.signal.iter().zip(&ws_jit.obs.signal) {

@@ -24,4 +24,7 @@ pub(crate) const FLOPS_PER_ITEM: f64 = 2.0;
 /// Bytes per sample: signal read-modify-write + amortised amplitude read.
 pub(crate) const BYTES_PER_ITEM: f64 = 24.0;
 
-crate::kernels::dispatch_impl!(KernelId::TemplateOffsetAddToSignal, template_offset_add_to_signal);
+crate::kernels::dispatch_impl!(
+    KernelId::TemplateOffsetAddToSignal,
+    template_offset_add_to_signal
+);

@@ -10,12 +10,9 @@ use crate::workspace::Workspace;
 pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
     let amps = &ws.amplitudes;
     let precond = &ws.precond;
-    ws.amp_out
-        .par_iter_mut()
-        .enumerate()
-        .for_each(|(i, out)| {
-            *out = amps[i] * precond[i];
-        });
+    ws.amp_out.par_iter_mut().enumerate().for_each(|(i, out)| {
+        *out = amps[i] * precond[i];
+    });
 
     charge_cpu(
         ctx,

@@ -3,23 +3,31 @@
 use accel_sim::Context;
 use arrayjit::{Backend, Jit};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program.
 pub fn build() -> Jit {
-    Jit::new("template_offset_apply_diag_precond", |_tc, params, _statics| {
-        vec![&params[0] * &params[1]]
-    })
+    Jit::new(
+        "template_offset_apply_diag_precond",
+        |_tc, params, _statics| vec![&params[0] * &params[1]],
+    )
 }
 
 /// Run against resident arrays, replacing `AmpOut` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     let _ = ws;
-    let amps = store.array(BufferId::Amplitudes).clone();
-    let precond = store.array(BufferId::Precond).clone();
+    let amps = store.array(BufferId::Amplitudes)?.clone();
+    let precond = store.array(BufferId::Precond)?.clone();
     let out = jit.call(ctx, backend, &[amps, precond]).remove(0);
-    store.replace(BufferId::AmpOut, out);
+    store.replace(BufferId::AmpOut, out)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -42,7 +50,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::AmpOut);
         assert_eq!(ws_cpu.amp_out, ws_jit.amp_out);

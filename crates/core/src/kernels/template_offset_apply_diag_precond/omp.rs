@@ -4,11 +4,11 @@
 use accel_sim::Context;
 use offload::{target_parallel_for, KernelSpec};
 
-use crate::memory::OmpStore;
+use crate::memory::{OmpStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Launch the device kernel over resident buffers.
-pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) -> Result<(), ResidencyError> {
     let n = ws.obs.n_det * ws.n_amp;
     let spec = KernelSpec::uniform(
         "template_offset_apply_diag_precond",
@@ -16,9 +16,9 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         super::BYTES_PER_ITEM,
     );
 
-    let amps = store.take(BufferId::Amplitudes);
-    let precond = store.take(BufferId::Precond);
-    let mut amp_out = store.take(BufferId::AmpOut);
+    let amps = store.take(BufferId::Amplitudes)?;
+    let precond = store.take(BufferId::Precond)?;
+    let mut amp_out = store.take(BufferId::AmpOut)?;
     {
         let a = amps.device_slice();
         let p = precond.device_slice();
@@ -30,6 +30,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
     store.put_back(BufferId::Amplitudes, amps);
     store.put_back(BufferId::Precond, precond);
     store.put_back(BufferId::AmpOut, amp_out);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -51,7 +52,7 @@ mod tests {
             store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
         }
         if let AccelStore::Omp(s) = &mut store {
-            run(&mut ctx, s, &ws_omp);
+            run(&mut ctx, s, &ws_omp).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_omp, BufferId::AmpOut);
         assert_eq!(ws_cpu.amp_out, ws_omp.amp_out);

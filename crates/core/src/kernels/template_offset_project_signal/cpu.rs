@@ -7,6 +7,8 @@ use crate::kernels::support::{charge_cpu, science_items};
 use crate::workspace::Workspace;
 
 /// Project the timestreams onto the offset amplitudes on the host.
+// Index loops mirror the ported C kernels' interval addressing.
+#[allow(clippy::needless_range_loop)]
 pub fn run(ctx: &mut Context, threads: u32, ws: &mut Workspace) {
     let n_samp = ws.obs.n_samples;
     let step = ws.step_length;
@@ -80,6 +82,9 @@ mod tests {
             .map(|(b, a)| b * a)
             .sum();
 
-        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 }

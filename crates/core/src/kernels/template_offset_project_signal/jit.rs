@@ -7,7 +7,7 @@
 use accel_sim::Context;
 use arrayjit::{Backend, DType, Jit, StageKind};
 
-use crate::memory::JitStore;
+use crate::memory::{JitStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Build the traced program. Statics: `[step_length, n_amp, n_samp]`.
@@ -54,16 +54,22 @@ pub fn build() -> Jit {
 }
 
 /// Run against resident arrays, replacing `AmpOut` functionally.
-pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut Jit, ws: &Workspace) {
+pub fn run(
+    ctx: &mut Context,
+    backend: Backend,
+    store: &mut JitStore,
+    jit: &mut Jit,
+    ws: &Workspace,
+) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let mask = store.sample_mask(ctx, ws);
     let signal = store
-        .array(BufferId::Signal)
+        .array(BufferId::Signal)?
         .clone()
         .reshaped(vec![n_det, n_samp]);
     let amp_out = store
-        .array(BufferId::AmpOut)
+        .array(BufferId::AmpOut)?
         .clone()
         .reshaped(vec![n_det, ws.n_amp]);
 
@@ -76,7 +82,8 @@ pub fn run(ctx: &mut Context, backend: Backend, store: &mut JitStore, jit: &mut 
         )
         .remove(0)
         .reshaped(vec![n_det * ws.n_amp]);
-    store.replace(BufferId::AmpOut, out);
+    store.replace(BufferId::AmpOut, out)?;
+    Ok(())
 }
 
 /// Whether the compiled program hit the library-dot path (exposed for the
@@ -107,7 +114,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::AmpOut);
         for (a, b) in ws_cpu.amp_out.iter().zip(&ws_jit.amp_out) {
@@ -134,7 +141,7 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws_jit).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_jit, BufferId::AmpOut);
         for (a, b) in ws_cpu.amp_out.iter().zip(&ws_jit.amp_out) {
@@ -152,11 +159,12 @@ mod tests {
         }
         let mut jit = build();
         if let AccelStore::Jit(s) = &mut store {
-            run(&mut ctx, Backend::Device, s, &mut jit, &ws);
+            run(&mut ctx, Backend::Device, s, &mut jit, &ws).unwrap();
         }
-        assert!(ctx
-            .stats()
-            .keys()
-            .any(|k| k.contains("librarydot")), "stats: {:?}", ctx.stats().keys().collect::<Vec<_>>());
+        assert!(
+            ctx.stats().keys().any(|k| k.contains("librarydot")),
+            "stats: {:?}",
+            ctx.stats().keys().collect::<Vec<_>>()
+        );
     }
 }

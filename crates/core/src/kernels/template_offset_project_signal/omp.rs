@@ -6,11 +6,11 @@
 use accel_sim::Context;
 use offload::{target_parallel_for, KernelSpec};
 
-use crate::memory::OmpStore;
+use crate::memory::{OmpStore, ResidencyError};
 use crate::workspace::{BufferId, Workspace};
 
 /// Launch the device kernel over resident buffers.
-pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
+pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) -> Result<(), ResidencyError> {
     let n_det = ws.obs.n_det;
     let n_samp = ws.obs.n_samples;
     let step = ws.step_length;
@@ -27,8 +27,8 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
         super::BYTES_PER_ITEM * step as f64 * super::OMP_SERIAL_REDUCTION_PENALTY,
     );
 
-    let signal = store.take(BufferId::Signal);
-    let mut amp_out = store.take(BufferId::AmpOut);
+    let signal = store.take(BufferId::Signal)?;
+    let mut amp_out = store.take(BufferId::AmpOut)?;
     {
         let sig = signal.device_slice();
         let out = amp_out.device_slice_mut();
@@ -50,6 +50,7 @@ pub fn run(ctx: &mut Context, store: &mut OmpStore, ws: &Workspace) {
     }
     store.put_back(BufferId::Signal, signal);
     store.put_back(BufferId::AmpOut, amp_out);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -71,7 +72,7 @@ mod tests {
             store.ensure_device(&mut ctx, &ws_omp, id).unwrap();
         }
         if let AccelStore::Omp(s) = &mut store {
-            run(&mut ctx, s, &ws_omp);
+            run(&mut ctx, s, &ws_omp).unwrap();
         }
         store.update_host(&mut ctx, &mut ws_omp, BufferId::AmpOut);
         assert_eq!(ws_cpu.amp_out, ws_omp.amp_out);

@@ -32,7 +32,7 @@ pub mod workspace;
 pub use data::{Detector, FocalPlane, Interval, Observation, SkyGeometry};
 pub use dispatch::{ImplKind, ImplSelection, KernelId};
 pub use kernels::{run_kernel, ExecCtx, JitKernels};
-pub use memory::AccelStore;
-pub use pipeline::{benchmark_pipeline, MovementPolicy, OpKind, Pipeline};
+pub use memory::{AccelStore, ResidencyError};
+pub use pipeline::{benchmark_pipeline, MovementPolicy, OpKind, Pipeline, PipelineError};
 pub use timing::Timers;
 pub use workspace::{BufferId, Workspace};

@@ -15,6 +15,23 @@ use offload::{DeviceBuffer, Pool};
 
 use crate::workspace::{BufferId, Workspace};
 
+/// A kernel asked for a buffer that is not resident on the device — a
+/// pipeline sequencing bug, surfaced as a typed error so the pipeline can
+/// report which kernel touched which buffer instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencyError {
+    /// The buffer that was not resident.
+    pub buffer: BufferId,
+}
+
+impl std::fmt::Display for ResidencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} not resident on device", self.buffer)
+    }
+}
+
+impl std::error::Error for ResidencyError {}
+
 /// Device-side storage for one rank, in one of the framework styles.
 pub enum AccelStore {
     /// No accelerator (the CPU baseline).
@@ -222,60 +239,60 @@ impl JitStore {
         array
     }
 
-    /// Fetch an array (must be resident — a pipeline sequencing bug
-    /// otherwise).
-    pub fn array(&self, id: BufferId) -> &Array {
-        self.arrays
-            .get(&id)
-            .unwrap_or_else(|| panic!("{id:?} not resident on device (pipeline bug)"))
+    /// Fetch an array; [`ResidencyError`] when the pipeline never staged
+    /// it (a sequencing bug, reported rather than panicking).
+    pub fn array(&self, id: BufferId) -> Result<&Array, ResidencyError> {
+        self.arrays.get(&id).ok_or(ResidencyError { buffer: id })
     }
 
-    /// Replace an array functionally (the JIT kernels' write path).
-    pub fn replace(&mut self, id: BufferId, array: Array) {
-        assert!(
-            self.arrays.contains_key(&id),
-            "{id:?} must be made resident before being written"
-        );
+    /// Replace an array functionally (the JIT kernels' write path). The
+    /// buffer must already be resident, so capacity accounting stays
+    /// balanced.
+    pub fn replace(&mut self, id: BufferId, array: Array) -> Result<(), ResidencyError> {
+        if !self.arrays.contains_key(&id) {
+            return Err(ResidencyError { buffer: id });
+        }
         self.arrays.insert(id, array);
+        Ok(())
     }
 }
 
 impl OmpStore {
     /// Fetch an f64 device buffer (must be resident).
-    pub fn f64_buf(&self, id: BufferId) -> &DeviceBuffer<f64> {
-        self.f64_bufs
-            .get(&id)
-            .unwrap_or_else(|| panic!("{id:?} not resident on device (pipeline bug)"))
+    pub fn f64_buf(&self, id: BufferId) -> Result<&DeviceBuffer<f64>, ResidencyError> {
+        self.f64_bufs.get(&id).ok_or(ResidencyError { buffer: id })
     }
 
     /// Fetch an f64 device buffer mutably.
-    pub fn f64_buf_mut(&mut self, id: BufferId) -> &mut DeviceBuffer<f64> {
+    pub fn f64_buf_mut(&mut self, id: BufferId) -> Result<&mut DeviceBuffer<f64>, ResidencyError> {
         self.f64_bufs
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("{id:?} not resident on device (pipeline bug)"))
+            .ok_or(ResidencyError { buffer: id })
     }
 
     /// Fetch the pixels buffer (must be resident).
-    pub fn pixels(&self) -> &DeviceBuffer<i64> {
-        self.i64_bufs
-            .get(&BufferId::Pixels)
-            .expect("Pixels not resident on device (pipeline bug)")
+    pub fn pixels(&self) -> Result<&DeviceBuffer<i64>, ResidencyError> {
+        self.i64_bufs.get(&BufferId::Pixels).ok_or(ResidencyError {
+            buffer: BufferId::Pixels,
+        })
     }
 
     /// Fetch the pixels buffer mutably.
-    pub fn pixels_mut(&mut self) -> &mut DeviceBuffer<i64> {
+    pub fn pixels_mut(&mut self) -> Result<&mut DeviceBuffer<i64>, ResidencyError> {
         self.i64_bufs
             .get_mut(&BufferId::Pixels)
-            .expect("Pixels not resident on device (pipeline bug)")
+            .ok_or(ResidencyError {
+                buffer: BufferId::Pixels,
+            })
     }
 
     /// Take several f64 buffers out at once to satisfy the borrow checker
     /// when a kernel reads some and writes others; returns them afterwards
     /// with [`OmpStore::put_back`].
-    pub fn take(&mut self, id: BufferId) -> DeviceBuffer<f64> {
+    pub fn take(&mut self, id: BufferId) -> Result<DeviceBuffer<f64>, ResidencyError> {
         self.f64_bufs
             .remove(&id)
-            .unwrap_or_else(|| panic!("{id:?} not resident on device (pipeline bug)"))
+            .ok_or(ResidencyError { buffer: id })
     }
 
     /// Return a buffer taken with [`OmpStore::take`].
@@ -336,8 +353,8 @@ mod tests {
         let mut c = ctx();
         let mut store = AccelStore::jit();
         store.ensure_device(&mut c, &ws, BufferId::Signal).unwrap();
-        let expected = (ws.byte_len(BufferId::Signal) as f64
-            * c.calib.framework.jit_mem_overhead) as u64;
+        let expected =
+            (ws.byte_len(BufferId::Signal) as f64 * c.calib.framework.jit_mem_overhead) as u64;
         assert_eq!(c.device_in_use(), expected);
         store.clear(&mut c);
         assert_eq!(c.device_in_use(), 0);

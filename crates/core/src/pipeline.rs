@@ -19,6 +19,41 @@ use crate::dispatch::KernelId;
 use crate::kernels::{kernel_inputs, kernel_outputs, run_kernel, ExecCtx};
 use crate::workspace::{BufferId, Workspace};
 
+/// A pipeline step failed, with enough context to name the culprit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Device memory ran out while staging `buffer` for `kernel` (the
+    /// paper's JAX OOM runs surface here).
+    Memory {
+        kernel: String,
+        buffer: BufferId,
+        source: accel_sim::MemoryError,
+    },
+    /// `kernel` was dispatched but `buffer` was not resident on the
+    /// device — a movement-policy bug, reported instead of panicking.
+    NotResident { kernel: String, buffer: BufferId },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Memory {
+                kernel,
+                buffer,
+                source,
+            } => write!(f, "staging {buffer:?} for {kernel}: {source}"),
+            PipelineError::NotResident { kernel, buffer } => {
+                write!(
+                    f,
+                    "{kernel}: {buffer:?} not resident on device (pipeline bug)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// One pipeline step.
 #[derive(Debug, Clone)]
 pub enum OpKind {
@@ -94,14 +129,33 @@ impl Pipeline {
         &self.ops
     }
 
-    /// Execute against `ws`, charging `ctx`. Device-memory exhaustion
-    /// surfaces as an error (the paper's JAX OOM runs).
+    /// Execute against `ws`, charging `ctx`. Device-memory exhaustion and
+    /// residency bugs surface as a [`PipelineError`] naming the kernel and
+    /// buffer involved (the paper's JAX OOM runs).
     pub fn run(
         &self,
         ctx: &mut Context,
         exec: &mut ExecCtx,
         ws: &mut Workspace,
-    ) -> Result<(), accel_sim::MemoryError> {
+    ) -> Result<(), PipelineError> {
+        // Scope every charge under a movement-policy phase; truncate on the
+        // way out so `?`-propagation cannot leave dangling scopes.
+        let depth = ctx.phase_depth();
+        ctx.push_phase(match self.policy {
+            MovementPolicy::Tracked => "pipeline[tracked]",
+            MovementPolicy::Naive => "pipeline[naive]",
+        });
+        let result = self.run_ops(ctx, exec, ws);
+        ctx.truncate_phases(depth);
+        result
+    }
+
+    fn run_ops(
+        &self,
+        ctx: &mut Context,
+        exec: &mut ExecCtx,
+        ws: &mut Workspace,
+    ) -> Result<(), PipelineError> {
         for op in &self.ops {
             match op {
                 OpKind::HostWork { name, seconds } => ctx.host_compute(name.clone(), *seconds),
@@ -110,51 +164,20 @@ impl Pipeline {
                     // host copy too so host/device views stay coherent.
                     ws.f64_slice_mut(*id).fill(0.0);
                     if exec.store.resident(*id) {
-                        self.reset_resident(ctx, exec, ws, *id);
+                        self.reset_resident(ctx, exec, ws, *id).map_err(|e| {
+                            PipelineError::NotResident {
+                                kernel: format!("reset[{id:?}]"),
+                                buffer: e.buffer,
+                            }
+                        })?;
                     }
                 }
                 OpKind::Kernel(kernel) => {
-                    let kind = exec.selection.resolve(*kernel);
-                    let moves = kind.uses_device()
-                        || matches!(kind, crate::dispatch::ImplKind::JitCpu);
-                    if moves {
-                        for &id in kernel_inputs(*kernel) {
-                            exec.store.ensure_device(ctx, ws, id)?;
-                        }
-                        for &id in kernel_outputs(*kernel) {
-                            exec.store.ensure_device(ctx, ws, id)?;
-                        }
-                    } else {
-                        // A host kernel in a hybrid pipeline: refresh its
-                        // inputs from the device, and invalidate device
-                        // copies of what it writes (§ 3.2.2: "we ensure
-                        // that the required data is in the correct
-                        // location").
-                        for &id in kernel_inputs(*kernel) {
-                            if exec.store.resident(id) {
-                                exec.store.update_host(ctx, ws, id);
-                            }
-                        }
-                        for &id in kernel_outputs(*kernel) {
-                            if exec.store.resident(id) {
-                                exec.store.update_host(ctx, ws, id);
-                                exec.store.delete(ctx, id);
-                            }
-                        }
-                    }
-                    run_kernel(ctx, exec, ws, *kernel);
-                    if moves && self.policy == MovementPolicy::Naive {
-                        // Naive mode: bounce everything this kernel touched.
-                        for &id in kernel_outputs(*kernel) {
-                            exec.store.update_host(ctx, ws, id);
-                        }
-                        for &id in kernel_inputs(*kernel) {
-                            exec.store.delete(ctx, id);
-                        }
-                        for &id in kernel_outputs(*kernel) {
-                            exec.store.delete(ctx, id);
-                        }
-                    }
+                    let kernel_depth = ctx.phase_depth();
+                    ctx.push_phase(format!("kernel[{kernel:?}]"));
+                    let step = self.run_kernel_op(ctx, exec, ws, *kernel);
+                    ctx.truncate_phases(kernel_depth);
+                    step?;
                 }
             }
         }
@@ -169,11 +192,73 @@ impl Pipeline {
         Ok(())
     }
 
-    fn reset_resident(&self, ctx: &mut Context, exec: &mut ExecCtx, ws: &Workspace, id: BufferId) {
+    fn run_kernel_op(
+        &self,
+        ctx: &mut Context,
+        exec: &mut ExecCtx,
+        ws: &mut Workspace,
+        kernel: KernelId,
+    ) -> Result<(), PipelineError> {
+        let kind = exec.selection.resolve(kernel);
+        let moves = kind.uses_device() || matches!(kind, crate::dispatch::ImplKind::JitCpu);
+        if moves {
+            for &id in kernel_inputs(kernel).iter().chain(kernel_outputs(kernel)) {
+                exec.store
+                    .ensure_device(ctx, ws, id)
+                    .map_err(|source| PipelineError::Memory {
+                        kernel: format!("{kernel:?}"),
+                        buffer: id,
+                        source,
+                    })?;
+            }
+        } else {
+            // A host kernel in a hybrid pipeline: refresh its
+            // inputs from the device, and invalidate device
+            // copies of what it writes (§ 3.2.2: "we ensure
+            // that the required data is in the correct
+            // location").
+            for &id in kernel_inputs(kernel) {
+                if exec.store.resident(id) {
+                    exec.store.update_host(ctx, ws, id);
+                }
+            }
+            for &id in kernel_outputs(kernel) {
+                if exec.store.resident(id) {
+                    exec.store.update_host(ctx, ws, id);
+                    exec.store.delete(ctx, id);
+                }
+            }
+        }
+        run_kernel(ctx, exec, ws, kernel).map_err(|e| PipelineError::NotResident {
+            kernel: format!("{kernel:?}"),
+            buffer: e.buffer,
+        })?;
+        if moves && self.policy == MovementPolicy::Naive {
+            // Naive mode: bounce everything this kernel touched.
+            for &id in kernel_outputs(kernel) {
+                exec.store.update_host(ctx, ws, id);
+            }
+            for &id in kernel_inputs(kernel) {
+                exec.store.delete(ctx, id);
+            }
+            for &id in kernel_outputs(kernel) {
+                exec.store.delete(ctx, id);
+            }
+        }
+        Ok(())
+    }
+
+    fn reset_resident(
+        &self,
+        ctx: &mut Context,
+        exec: &mut ExecCtx,
+        ws: &Workspace,
+        id: BufferId,
+    ) -> Result<(), crate::memory::ResidencyError> {
         use crate::memory::AccelStore;
         match &mut exec.store {
             AccelStore::Omp(s) => {
-                let mut buf = s.take(id);
+                let mut buf = s.take(id)?;
                 offload::map::reset_device(ctx, &mut buf);
                 s.put_back(id, buf);
             }
@@ -190,10 +275,11 @@ impl Pipeline {
                         "accel_data_reset",
                     );
                 }
-                s.replace(id, arrayjit::Array::zeros(vec![n]));
+                s.replace(id, arrayjit::Array::zeros(vec![n]))?;
             }
             AccelStore::None => {}
         }
+        Ok(())
     }
 }
 
@@ -322,7 +408,10 @@ mod tests {
             .unwrap();
 
         for (i, (a, b)) in cpu.obs.signal.iter().zip(&ws.obs.signal).enumerate() {
-            assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "signal[{i}]: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9 * a.abs().max(1.0),
+                "signal[{i}]: {a} vs {b}"
+            );
         }
         for (i, (a, b)) in cpu.zmap.iter().zip(&ws.zmap).enumerate() {
             assert!((a - b).abs() < 1e-8 * a.abs().max(1.0), "zmap[{i}]");
@@ -334,5 +423,67 @@ mod tests {
         let (_, ctx) = run_with(ImplKind::Cpu, MovementPolicy::Tracked);
         assert!(ctx.stats().contains_key("unported_operators"));
         assert!(ctx.stats().contains_key("load_and_setup"));
+    }
+
+    #[test]
+    fn oom_is_reported_with_kernel_and_buffer() {
+        let mut ws = test_workspace(3, 120, 8);
+        let mut calib = NodeCalib::default();
+        calib.gpu.mem_bytes = 1024; // far too small for any buffer
+        let mut ctx = Context::new(calib);
+        let mut exec = ExecCtx::new(ImplKind::OmpTarget, 4);
+        let err = benchmark_pipeline(0.1)
+            .run(&mut ctx, &mut exec, &mut ws)
+            .unwrap_err();
+        match &err {
+            PipelineError::Memory { kernel, .. } => {
+                assert_eq!(kernel, "PointingDetector");
+            }
+            other => panic!("expected Memory error, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("PointingDetector"), "{msg}");
+    }
+
+    #[test]
+    fn oom_mid_pipeline_leaves_no_dangling_phases() {
+        let mut ws = test_workspace(3, 120, 8);
+        let mut calib = NodeCalib::default();
+        calib.gpu.mem_bytes = 1024;
+        let mut ctx = Context::new(calib);
+        let mut exec = ExecCtx::new(ImplKind::OmpTarget, 4);
+        assert!(benchmark_pipeline(0.1)
+            .run(&mut ctx, &mut exec, &mut ws)
+            .is_err());
+        assert_eq!(ctx.phase_depth(), 0);
+    }
+
+    #[test]
+    fn missing_residency_surfaces_as_typed_error() {
+        // Dispatch a device kernel without staging its buffers: the old
+        // code panicked here; now it names the kernel and the buffer.
+        let mut ws = test_workspace(2, 60, 8);
+        let mut ctx = Context::new(NodeCalib::default());
+        let mut exec = ExecCtx::new(ImplKind::OmpTarget, 4);
+        let err = run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::ScanMap).unwrap_err();
+        assert_eq!(err.buffer, BufferId::SkyMap);
+    }
+
+    #[test]
+    fn phases_scope_pipeline_charges() {
+        let (_, ctx) = run_with(ImplKind::OmpTarget, MovementPolicy::Tracked);
+        let events = &ctx.trace().events;
+        // Movement-policy and kernel phase events are emitted...
+        assert!(events
+            .iter()
+            .any(|e| e.kind == accel_sim::SpanKind::Phase && e.label == "pipeline[tracked]"));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == accel_sim::SpanKind::Phase && e.label == "kernel[ScanMap]"));
+        // ...and kernel launches carry the nested scope.
+        assert!(events.iter().any(|e| e.kind == accel_sim::SpanKind::Kernel
+            && e.label == "scan_map"
+            && e.scope == "pipeline[tracked]/kernel[ScanMap]"));
+        assert_eq!(ctx.phase_depth(), 0);
     }
 }

@@ -205,7 +205,9 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| l.starts_with("accel_data_update_device,,0.2")));
-        assert!(lines.iter().any(|l| l.starts_with("io,1.0") && l.ends_with(',')));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("io,1.0") && l.ends_with(',')));
     }
 
     #[test]

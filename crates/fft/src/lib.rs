@@ -38,9 +38,7 @@ mod tests {
 
     #[test]
     fn doc_example_roundtrip() {
-        let signal: Vec<Complex> = (0..16)
-            .map(|i| Complex::new((i * i) as f64, 0.0))
-            .collect();
+        let signal: Vec<Complex> = (0..16).map(|i| Complex::new((i * i) as f64, 0.0)).collect();
         let mut s = signal.clone();
         fft(&mut s);
         ifft(&mut s);

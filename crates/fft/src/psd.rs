@@ -53,8 +53,16 @@ impl Psd {
 /// variates are consumed per positive-frequency bin.
 ///
 /// `n` must be a power of two.
-pub fn synthesize_noise(psd: &Psd, rate: f64, n: usize, mut gauss: impl FnMut(u64) -> f64) -> Vec<f64> {
-    assert!(n.is_power_of_two(), "noise length {n} is not a power of two");
+pub fn synthesize_noise(
+    psd: &Psd,
+    rate: f64,
+    n: usize,
+    mut gauss: impl FnMut(u64) -> f64,
+) -> Vec<f64> {
+    assert!(
+        n.is_power_of_two(),
+        "noise length {n} is not a power of two"
+    );
     assert!(rate > 0.0);
     if n == 1 {
         return vec![psd.eval(rate / 2.0).sqrt() * rate.sqrt() * gauss(0)];
@@ -175,7 +183,10 @@ mod tests {
         let spec = crate::transform::rfft_forward(&noise);
         // Average power in the lowest decade of bins vs a high decade.
         let low: f64 = (1..20).map(|k| spec[k].norm_sqr()).sum::<f64>() / 19.0;
-        let high: f64 = (n / 2 - 200..n / 2).map(|k| spec[k].norm_sqr()).sum::<f64>() / 200.0;
+        let high: f64 = (n / 2 - 200..n / 2)
+            .map(|k| spec[k].norm_sqr())
+            .sum::<f64>()
+            / 200.0;
         assert!(low > 4.0 * high, "low {low} high {high}");
     }
 

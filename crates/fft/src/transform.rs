@@ -99,11 +99,15 @@ mod tests {
         // Deterministic, irregular test data without pulling in a RNG dep.
         (0..n)
             .map(|i| {
-                let a = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33)
-                    as f64
+                let a = ((i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 33) as f64
                     / (1u64 << 31) as f64;
-                let b = ((i as u64).wrapping_mul(1442695040888963407).wrapping_add(seed) >> 33)
-                    as f64
+                let b = ((i as u64)
+                    .wrapping_mul(1442695040888963407)
+                    .wrapping_add(seed)
+                    >> 33) as f64
                     / (1u64 << 31) as f64;
                 Complex::new(a - 1.0, b - 1.0)
             })

@@ -33,11 +33,7 @@ pub fn nest2ring(nside: Nside, pix: u64) -> u64 {
         (nr, nside.npix() as i64 - 2 * nr * (nr + 1), 0)
     } else {
         // Equatorial belt.
-        (
-            n,
-            nside.ncap() as i64 + (jr - n) * 4 * n,
-            (jr - n) & 1,
-        )
+        (n, nside.ncap() as i64 + (jr - n) * 4 * n, (jr - n) & 1)
     };
 
     let mut jp = (JPLL[face as usize] * nr + ix - iy + 1 + kshift) / 2;

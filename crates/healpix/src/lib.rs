@@ -117,10 +117,10 @@ impl std::error::Error for InvalidNside {}
 pub(crate) fn isqrt(v: u64) -> u64 {
     let mut r = (v as f64).sqrt() as u64;
     // Correct the float estimate (can be off by one either way near 2^53).
-    while r > 0 && r.checked_mul(r).map_or(true, |sq| sq > v) {
+    while r > 0 && r.checked_mul(r).is_none_or(|sq| sq > v) {
         r -= 1;
     }
-    while (r + 1).checked_mul(r + 1).map_or(false, |sq| sq <= v) {
+    while (r + 1).checked_mul(r + 1).is_some_and(|sq| sq <= v) {
         r += 1;
     }
     r

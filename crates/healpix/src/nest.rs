@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn zorder_is_dense_within_face() {
         // For nside = 8, the 64 (ix, iy) pairs must map onto exactly 0..64.
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for ix in 0..8u64 {
             for iy in 0..8u64 {
                 let z = xy2zorder(ix, iy) as usize;

@@ -227,8 +227,16 @@ mod tests {
 
     #[test]
     fn counts_add() {
-        let a = LineCount { code: 1, comment: 2, blank: 3 };
-        let b = LineCount { code: 10, comment: 20, blank: 30 };
+        let a = LineCount {
+            code: 1,
+            comment: 2,
+            blank: 3,
+        };
+        let b = LineCount {
+            code: 10,
+            comment: 20,
+            blank: 30,
+        };
         let s = a + b;
         assert_eq!(s.code, 11);
         assert_eq!(s.total(), 66);

@@ -29,8 +29,11 @@ pub enum Implementation {
 
 impl Implementation {
     /// All implementations, figure order.
-    pub const ALL: [Implementation; 3] =
-        [Implementation::Cpu, Implementation::OmpTarget, Implementation::Jit];
+    pub const ALL: [Implementation; 3] = [
+        Implementation::Cpu,
+        Implementation::OmpTarget,
+        Implementation::Jit,
+    ];
 
     /// Figure label.
     pub fn label(self) -> &'static str {
@@ -91,7 +94,7 @@ fn dir_code_lines(dir: &Path) -> usize {
         let path = entry.path();
         if path.is_dir() {
             total += dir_code_lines(&path);
-        } else if path.extension().map_or(false, |e| e == "rs") {
+        } else if path.extension().is_some_and(|e| e == "rs") {
             total += file_code_lines(&path);
         }
     }

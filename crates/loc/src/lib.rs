@@ -15,4 +15,6 @@ pub mod count;
 pub mod inventory;
 
 pub use count::{count_lines, strip_tests, LineCount};
-pub use inventory::{find_workspace_root, implementation_totals, kernel_loc_table, Implementation, KernelLoc};
+pub use inventory::{
+    find_workspace_root, implementation_totals, kernel_loc_table, Implementation, KernelLoc,
+};

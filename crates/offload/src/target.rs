@@ -125,7 +125,7 @@ mod tests {
     fn collapse3_visits_the_full_cartesian_product() {
         let mut c = ctx();
         let spec = KernelSpec::uniform("c3", 1.0, 8.0);
-        let mut visits = vec![0u32; 2 * 3 * 4];
+        let mut visits = [0u32; 2 * 3 * 4];
         target_parallel_for_collapse3(&mut c, &spec, (2, 3, 4), |i, j, k| {
             visits[(i * 3 + j) * 4 + k] += 1;
         });

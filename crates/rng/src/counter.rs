@@ -68,7 +68,10 @@ impl CounterRng {
         // Two independent words per gaussian: draw them from one cipher
         // block so the cost stays at one cipher call per variate.
         let block = self.block(1, idx);
-        let (u1, u2) = (dist::u64_to_f64_open(block[0]), dist::u64_to_f64_01(block[1]));
+        let (u1, u2) = (
+            dist::u64_to_f64_open(block[0]),
+            dist::u64_to_f64_01(block[1]),
+        );
         dist::box_muller(u1, u2)
     }
 

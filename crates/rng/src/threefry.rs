@@ -131,10 +131,7 @@ mod tests {
         }
         for (pos, &c) in ones.iter().enumerate() {
             let frac = c as f64 / n as f64;
-            assert!(
-                (0.45..=0.55).contains(&frac),
-                "bit {pos} biased: {frac}"
-            );
+            assert!((0.45..=0.55).contains(&frac), "bit {pos} biased: {frac}");
         }
     }
 }

@@ -34,7 +34,10 @@ pub fn build_focal_plane(n_det: usize) -> FocalPlane {
                 quat::from_axis_angle([0.0, 0.0, 1.0], pol_angle),
             );
             detectors.push(Detector {
-                name: format!("D{placed:04}{}", if placed % 2 == 0 { "A" } else { "B" }),
+                name: format!(
+                    "D{placed:04}{}",
+                    if placed.is_multiple_of(2) { "A" } else { "B" }
+                ),
                 quat: offset,
                 pol_efficiency: 0.92 + 0.06 * ((placed * 13 % 17) as f64 / 17.0),
                 noise_weight: 1.0,

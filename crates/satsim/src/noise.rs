@@ -89,7 +89,10 @@ mod tests {
         let rms = (sig.iter().map(|x| x * x).sum::<f64>() / sig.len() as f64).sqrt();
         // White-level variance ~ NET^2 rate/2; 1/f adds on top of it.
         let white = fp.detectors[0].net * (o.sample_rate / 2.0).sqrt();
-        assert!(rms > 0.5 * white && rms < 10.0 * white, "rms {rms} white {white}");
+        assert!(
+            rms > 0.5 * white && rms < 10.0 * white,
+            "rms {rms} white {white}"
+        );
     }
 
     #[test]

@@ -131,8 +131,8 @@ impl Problem {
     /// count × `scale`), floored so tiny scales still exercise every code
     /// path.
     pub fn samples_per_detector(&self) -> usize {
-        let paper = self.total_samples / (self.n_det_total as f64 * self.n_obs as f64)
-            / self.nodes as f64;
+        let paper =
+            self.total_samples / (self.n_det_total as f64 * self.n_obs as f64) / self.nodes as f64;
         ((paper * self.scale) as usize).max(64)
     }
 
@@ -215,8 +215,7 @@ impl Problem {
             * ranks_per_node as f64
             * self.passes as f64;
         node_kernel
-            * (self.serial_host_fraction
-                + self.parallel_host_fraction / ranks_per_node as f64)
+            * (self.serial_host_fraction + self.parallel_host_fraction / ranks_per_node as f64)
     }
 }
 
@@ -273,8 +272,7 @@ mod tests {
         let p = tiny();
         let mut ws = p.rank_workspace(0, 8);
         let mut ctx = accel_sim::Context::new(p.calib());
-        let mut exec =
-            toast_core::kernels::ExecCtx::new(toast_core::dispatch::ImplKind::Cpu, 8);
+        let mut exec = toast_core::kernels::ExecCtx::new(toast_core::dispatch::ImplKind::Cpu, 8);
         let host = p.host_seconds_per_rank(&ws, 8);
         assert!(host > 0.0);
         let pipe = toast_core::pipeline::benchmark_pipeline(host);

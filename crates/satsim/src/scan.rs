@@ -139,7 +139,13 @@ mod tests {
 
     #[test]
     fn intervals_are_reproducible() {
-        assert_eq!(science_intervals(5000, 200, 7), science_intervals(5000, 200, 7));
-        assert_ne!(science_intervals(5000, 200, 7), science_intervals(5000, 200, 8));
+        assert_eq!(
+            science_intervals(5000, 200, 7),
+            science_intervals(5000, 200, 7)
+        );
+        assert_ne!(
+            science_intervals(5000, 200, 7),
+            science_intervals(5000, 200, 8)
+        );
     }
 }

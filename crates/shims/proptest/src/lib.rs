@@ -1,0 +1,401 @@
+//! Offline stand-in for the `proptest` API subset this workspace uses.
+//!
+//! The build container has no network access and no cargo registry cache,
+//! so the real proptest cannot be fetched. This shim keeps the property
+//! tests source-compatible and meaningful: each `proptest!` test runs
+//! [`CASES`] deterministic pseudo-random cases drawn from the declared
+//! strategies (a SplitMix64 stream seeded from the test's name), with
+//! `prop_assume!` rejection and `prop_assert*!` reporting the failing
+//! condition. There is no shrinking — a failure reports the raw case.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Cases run per property test.
+pub const CASES: usize = 64;
+
+/// Sentinel error used by `prop_assume!` to reject a case.
+pub const ASSUME_REJECTED: &str = "__proptest_assume_rejected";
+
+/// Deterministic SplitMix64 stream.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, so every test gets a distinct stream.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of values for one test parameter.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Types that half-open and inclusive ranges can sample uniformly.
+pub trait SampleUniform: Copy {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty strategy range");
+                let width = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((rng.next_u64() as u128 % width) as $ty)
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty strategy range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add((rng.next_u64() as u128 % width) as $ty)
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        assert!(lo < hi, "empty strategy range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        Self::sample_half_open(lo, hi + (hi - lo) * f64::EPSILON, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident.$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// `any::<T>()`-style full-domain sampling, used for bare `name: type`
+/// parameters in `proptest!` signatures.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, wide-range doubles; full bit-pattern sampling would
+        // mostly produce NaN/subnormal noise the tests do not want.
+        (rng.next_f64() - 0.5) * 2e12
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vector strategy: `size` is a fixed length or a length range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    /// Lengths accepted by [`vec`].
+    pub trait IntoSizeRange {
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// `proptest::collection::vec(element_strategy, len)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty vec length range");
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.lo + (rng.next_u64() as usize) % (self.hi - self.lo);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Strategy,
+    };
+}
+
+/// Bind one `proptest!` parameter list entry after another. Entries are
+/// either `pattern in strategy` or `name: type` (full-domain sampling).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:expr;) => {};
+    ($rng:expr; $p:pat in $s:expr) => {
+        let $p = $crate::Strategy::sample(&($s), $rng);
+    };
+    ($rng:expr; $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::sample(&($s), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:expr; $i:ident: $ty:ty) => {
+        let $i: $ty = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+    ($rng:expr; $i:ident: $ty:ty, $($rest:tt)*) => {
+        let $i: $ty = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// The `proptest!` block: each contained `#[test] fn` becomes a plain test
+/// running [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted = 0usize;
+            let mut attempts = 0usize;
+            while accepted < $crate::CASES {
+                attempts += 1;
+                assert!(
+                    attempts < $crate::CASES * 50,
+                    "prop_assume! rejected too many cases"
+                );
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $crate::__proptest_bind!(&mut rng; $($args)*);
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err(e) if e == $crate::ASSUME_REJECTED => continue,
+                    Err(e) => panic!("property '{}' failed: {}", stringify!($name), e),
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Reject the current case (resampled, not counted as a run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::ASSUME_REJECTED.to_string());
+        }
+    };
+}
+
+/// `assert!` that reports through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return ::std::result::Result::Err(format!(
+                "{} != {}: {:?} vs {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                va,
+                vb,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property-test runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return ::std::result::Result::Err(format!(
+                "{} == {}: both {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                va,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in -4i64..4, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn mapped_and_tuple_strategies(e in evens(), (a, b) in (0u32..5, 10u32..15)) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(a < 5 && (10..15).contains(&b));
+        }
+
+        #[test]
+        fn bare_types_assume_and_vec(
+            x: u64,
+            v in crate::collection::vec(0i64..7, 0usize..9),
+        ) {
+            prop_assume!(x != 41);
+            prop_assert_ne!(x, 41);
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|&e| (0..7).contains(&e)));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("a");
+        let mut a2 = crate::TestRng::from_name("a");
+        let mut b = crate::TestRng::from_name("b");
+        let (x, y, z) = (a.next_u64(), a2.next_u64(), b.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+}

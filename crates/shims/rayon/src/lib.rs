@@ -1,0 +1,68 @@
+//! Offline stand-in for the `rayon` API subset this workspace uses.
+//!
+//! The build container has no network access and no cargo registry cache,
+//! so the real rayon cannot be fetched. This shim keeps the call sites
+//! source-compatible by handing back the standard *sequential* iterators:
+//! `par_chunks_mut` → `chunks_mut`, `par_iter_mut` → `iter_mut`,
+//! `into_par_iter` → `into_iter`. Every adaptor the code chains afterwards
+//! (`enumerate`, `for_each`, `map`, `collect`, …) is the std one.
+//!
+//! Correctness is unaffected: the simulator's *virtual* clock charges
+//! thread-level parallelism through its cost model, never through host
+//! wall time. Only host-side wall time of the harness itself is lost, and
+//! the tier-1 suite stays fast enough without it.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut, SliceParIterMut};
+}
+
+/// `into_par_iter()` for anything iterable (ranges in this workspace).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `par_iter_mut()` on slices (and `Vec` through deref).
+pub trait SliceParIterMut<T> {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> SliceParIterMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let squares: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+
+        let mut data = vec![0u32; 6];
+        data.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.fill(i as u32));
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3]);
+    }
+}

@@ -36,11 +36,13 @@ fn main() {
     problem.n_obs = 1;
 
     // Reference: everything on the CPU.
-    let (reference, t_cpu) = run_selection(&problem, ImplSelection::all(ImplKind::Cpu), ImplKind::Cpu);
+    let (reference, t_cpu) =
+        run_selection(&problem, ImplSelection::all(ImplKind::Cpu), ImplKind::Cpu);
     println!("all-CPU reference        : {t_cpu:.4} s");
 
     // Everything JIT'd on the device.
-    let (all_jit, t_jit) = run_selection(&problem, ImplSelection::all(ImplKind::Jit), ImplKind::Jit);
+    let (all_jit, t_jit) =
+        run_selection(&problem, ImplSelection::all(ImplKind::Jit), ImplKind::Jit);
     println!(
         "all-JAX                  : {t_jit:.4} s   max signal diff {:.2e}",
         max_rel_diff(&reference.obs.signal, &all_jit.obs.signal)

@@ -23,7 +23,7 @@ use toast_repro::toast_satsim::Problem;
 fn apply_f(ctx: &mut Context, exec: &mut ExecCtx, ws: &mut Workspace, amps: &[f64]) -> Vec<f64> {
     ws.amplitudes.copy_from_slice(amps);
     ws.obs.signal.fill(0.0);
-    run_kernel(ctx, exec, ws, KernelId::TemplateOffsetAddToSignal);
+    run_kernel(ctx, exec, ws, KernelId::TemplateOffsetAddToSignal).expect("buffers resident");
     ws.obs.signal.clone()
 }
 
@@ -31,7 +31,7 @@ fn apply_f(ctx: &mut Context, exec: &mut ExecCtx, ws: &mut Workspace, amps: &[f6
 fn apply_ft(ctx: &mut Context, exec: &mut ExecCtx, ws: &mut Workspace, tod: &[f64]) -> Vec<f64> {
     ws.obs.signal.copy_from_slice(tod);
     ws.amp_out.fill(0.0);
-    run_kernel(ctx, exec, ws, KernelId::TemplateOffsetProjectSignal);
+    run_kernel(ctx, exec, ws, KernelId::TemplateOffsetProjectSignal).expect("buffers resident");
     ws.amp_out.clone()
 }
 
@@ -74,7 +74,10 @@ fn main() {
     let mut r = rhs.clone();
     let mut p = r.clone();
     let mut rz = dot(&r, &r);
-    println!("CG destriper: {} amplitudes, step {} samples", n_amp_total, ws.step_length);
+    println!(
+        "CG destriper: {} amplitudes, step {} samples",
+        n_amp_total, ws.step_length
+    );
     for iter in 0..50 {
         let f_p = apply_f(&mut ctx, &mut exec, &mut ws, &p);
         let mut ap = apply_ft(&mut ctx, &mut exec, &mut ws, &f_p);
@@ -126,11 +129,12 @@ fn main() {
         .zip(&cleaned_offsets)
         .map(|(d, o)| d - o)
         .collect();
-    run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::PointingDetector);
-    run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::PixelsHealpix);
-    run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::StokesWeightsIqu);
+    run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::PointingDetector).expect("buffers resident");
+    run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::PixelsHealpix).expect("buffers resident");
+    run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::StokesWeightsIqu).expect("buffers resident");
     ws.zmap.fill(0.0);
-    run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::BuildNoiseWeighted);
+    run_kernel(&mut ctx, &mut exec, &mut ws, KernelId::BuildNoiseWeighted)
+        .expect("buffers resident");
     let hit_pixels = ws.zmap.chunks(3).filter(|c| c[0] != 0.0).count();
     println!(
         "binned destriped map: {hit_pixels} of {} pixels hit; simulated cost {:.4} s",

@@ -19,7 +19,8 @@ fn main() {
     problem.total_samples *= 128.0 / 2048.0;
     problem.n_obs = 2;
 
-    println!("workload: {} detectors x {} samples/obs x {} obs",
+    println!(
+        "workload: {} detectors x {} samples/obs x {} obs",
         problem.detectors_per_rank(1),
         problem.samples_per_detector(),
         problem.n_obs,

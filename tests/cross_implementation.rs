@@ -109,6 +109,11 @@ fn naive_movement_is_slower_but_equally_correct() {
     };
     let (tracked_ws, tracked_ctx) = run_policy(MovementPolicy::Tracked);
     let (naive_ws, naive_ctx) = run_policy(MovementPolicy::Naive);
-    assert_close("signal", &tracked_ws.obs.signal, &naive_ws.obs.signal, 1e-12);
+    assert_close(
+        "signal",
+        &tracked_ws.obs.signal,
+        &naive_ws.obs.signal,
+        1e-12,
+    );
     assert!(naive_ctx.trace().transfer_bytes() > tracked_ctx.trace().transfer_bytes());
 }
