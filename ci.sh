@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI: formatting, lints, release build, full test suite.
+# Local CI: formatting, lints, docs, release build, full test suite, and a
+# cluster-engine smoke run.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -9,10 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release"
 cargo build --release --workspace
 
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== fig5 cluster smoke (--nodes 2)"
+cargo run --release -p repro-bench --bin fig5_full_benchmark -- --nodes 2 >/dev/null
 
 echo "CI OK"

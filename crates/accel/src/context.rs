@@ -196,6 +196,25 @@ impl Context {
             .push(Segment::Transfer { bytes, dir, label });
     }
 
+    /// Record an inter-node collective moving `bytes` at an analytic solo
+    /// cost of `seconds` (from [`crate::comm`]). The engine's cluster
+    /// replay barriers all participating ranks on this segment and shares
+    /// the node NIC, so the replayed cost exceeds `seconds` under
+    /// congestion; the solo estimate is what this rank's stats carry.
+    pub fn collective(&mut self, label: impl Into<String>, bytes: f64, seconds: f64) {
+        let label = label.into();
+        let s = self.stat(&label);
+        s.calls += 1;
+        s.seconds += seconds;
+        s.bytes += bytes;
+        self.record(SpanKind::Collective, &label, seconds, bytes);
+        self.trace.segments.push(Segment::Collective {
+            seconds,
+            bytes,
+            label,
+        });
+    }
+
     /// Account a device allocation of `bytes`; charges allocator latency
     /// unless `pooled` (a pool hit costs effectively nothing, the reason
     /// both ports implement pools).

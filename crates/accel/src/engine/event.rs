@@ -1,0 +1,173 @@
+//! The event heap: pending completions on the virtual clock.
+//!
+//! The engine is a fluid discrete-event simulation: between events every
+//! active flow drains at a constant rate, so its completion time is
+//! predictable the moment its rate is known. Those predictions live here,
+//! in a min-heap keyed by virtual time. Because a rate can change when a
+//! *different* flow joins or leaves a shared resource, predictions go
+//! stale; the heap uses lazy invalidation — every flow carries a
+//! generation counter, a prediction records the generation it was made
+//! under, and stale entries are skipped on pop instead of being removed
+//! eagerly (removal from the middle of a binary heap is O(n); skipping is
+//! O(log n) amortised).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which of a rank's concurrent flows an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowId {
+    /// The rank's main segment chain (host, kernel, blocking transfer,
+    /// collective).
+    Main,
+    /// The head of the rank's asynchronous transfer stream (only active
+    /// under [`crate::node::NodeConfig::overlap_transfers`]).
+    Stream,
+}
+
+/// A predicted completion of one flow.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Global rank index.
+    pub rank: usize,
+    /// Which of the rank's flows completes.
+    pub flow: FlowId,
+    /// Generation of the flow when the prediction was made; compared
+    /// against the flow's current generation on pop.
+    pub gen: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: f64,
+    /// Push sequence number: makes the ordering total and deterministic
+    /// when times tie (earlier predictions pop first).
+    seq: u64,
+    completion: Completion,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest time.
+        // Times are asserted finite on push, so `total_cmp` is a plain
+        // numeric order here.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of predicted completions on the virtual clock.
+#[derive(Debug, Default)]
+pub struct EventHeap {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `completion` at virtual `time` (must be finite).
+    pub fn push(&mut self, time: f64, completion: Completion) {
+        debug_assert!(time.is_finite(), "event at non-finite time {time}");
+        self.seq += 1;
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            completion,
+        });
+    }
+
+    /// Pop the earliest prediction whose generation still matches,
+    /// discarding stale entries along the way. `current_gen` maps a
+    /// `(rank, flow)` to its live generation.
+    pub fn pop_valid(
+        &mut self,
+        mut current_gen: impl FnMut(usize, FlowId) -> u64,
+    ) -> Option<(f64, Completion)> {
+        while let Some(e) = self.heap.pop() {
+            if current_gen(e.completion.rank, e.completion.flow) == e.completion.gen {
+                return Some((e.time, e.completion));
+            }
+        }
+        None
+    }
+
+    /// Number of entries, including stale ones awaiting lazy removal.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(rank: usize, gen: u64) -> Completion {
+        Completion {
+            rank,
+            flow: FlowId::Main,
+            gen,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        h.push(3.0, c(0, 0));
+        h.push(1.0, c(1, 0));
+        h.push(2.0, c(2, 0));
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_valid(|_, _| 0))
+            .map(|(_, e)| e.rank)
+            .collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_push_order() {
+        let mut h = EventHeap::new();
+        h.push(1.0, c(7, 0));
+        h.push(1.0, c(9, 0));
+        assert_eq!(h.pop_valid(|_, _| 0).unwrap().1.rank, 7);
+        assert_eq!(h.pop_valid(|_, _| 0).unwrap().1.rank, 9);
+    }
+
+    #[test]
+    fn stale_generations_are_skipped() {
+        let mut h = EventHeap::new();
+        h.push(1.0, c(0, 0)); // stale: rank 0 is at generation 2
+        h.push(5.0, c(0, 2));
+        h.push(3.0, c(1, 1));
+        let gens = |rank: usize, _: FlowId| match rank {
+            0 => 2,
+            _ => 1,
+        };
+        assert_eq!(h.pop_valid(gens).unwrap().0, 3.0);
+        assert_eq!(h.pop_valid(gens).unwrap().0, 5.0);
+        assert!(h.pop_valid(gens).is_none());
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! The discrete-event simulation engine.
+//!
+//! This module is the timing core of the simulator: an event heap on one
+//! virtual clock ([`event`]), typed shared resources — per-GPU SM pools,
+//! per-GPU PCIe links, per-node NICs ([`resources`]) — and pluggable
+//! kernel arbitration ([`policy`]). [`crate::simulate_node`] and
+//! [`crate::simulate_node_traced`] are thin single-node wrappers over it;
+//! [`simulate_cluster`] replays many nodes against the same clock, with
+//! inter-node collectives as network events so congestion emerges from
+//! NIC occupancy rather than from a closed-form assumption.
+//!
+//! The event loop lives in the private `sim` submodule: between events every active flow
+//! drains at a constant rate, each event is a predicted flow completion
+//! (lazily invalidated when resource membership changes), and rates are
+//! recomputed in global rank order at every event so the replay is
+//! deterministic and — for the legacy single-node configurations —
+//! bit-compatible with the analytic replay it replaced.
+
+pub mod cluster;
+pub mod event;
+pub mod policy;
+pub mod resources;
+pub(crate) mod sim;
+
+pub use cluster::{
+    cluster_collective_bytes, simulate_cluster, simulate_cluster_traced, ClusterResult,
+};
+pub use policy::{GpuSchedContext, KernelReq, SchedulePolicy, SchedulePolicyKind};
+pub use resources::{Nic, PcieLink, SmPool};

@@ -1,0 +1,117 @@
+//! Typed shared resources: SM pools, PCIe links, NICs.
+//!
+//! Each resource tracks its *current membership* (which flows want it
+//! right now — recomputed at every event, because membership is exactly
+//! what events change) and its *accumulated accounting* (busy seconds,
+//! switch charges), which survives the whole replay and feeds
+//! [`crate::node::NodeResult`] / [`crate::engine::ClusterResult`].
+
+/// One GPU's streaming-multiprocessor pool.
+#[derive(Debug, Clone, Default)]
+pub struct SmPool {
+    /// Σ solo-utilisation over kernels currently wanting this GPU
+    /// (recomputed per event).
+    pub load: f64,
+    /// Ranks resident on this GPU for the whole replay (static
+    /// assignment, whether or not they are currently computing).
+    pub clients: u32,
+    /// Accumulated seconds the device spent computing (load clamped to 1).
+    pub busy: f64,
+    /// Accumulated seconds lost to context switches (zero under MPS).
+    pub switch_seconds: f64,
+}
+
+impl SmPool {
+    /// Fold `dt` seconds at the current load into the busy accounting.
+    pub fn accumulate(&mut self, dt: f64) {
+        if self.load > 0.0 {
+            self.busy += self.load.min(1.0) * dt;
+        }
+    }
+}
+
+/// One GPU's PCIe link (shared equally by its active transfers).
+#[derive(Debug, Clone, Default)]
+pub struct PcieLink {
+    /// Transfers on the wire right now (recomputed per event).
+    pub users: u32,
+}
+
+impl PcieLink {
+    /// Rate of each active transfer: the link is shared equally.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.users.max(1) as f64
+    }
+}
+
+/// One node's network interface, shared by that node's ranks during
+/// collectives. A rank's collective demand is its *analytic* solo cost
+/// (the [`crate::comm`] formulas, which assume a full NIC); sharing the
+/// NIC among co-located ranks is what makes congestion emerge instead of
+/// being assumed away.
+#[derive(Debug, Clone, Default)]
+pub struct Nic {
+    /// Ranks of this node currently inside a collective (recomputed per
+    /// event).
+    pub active: u32,
+    /// Accumulated seconds the NIC spent moving collective traffic.
+    pub busy: f64,
+}
+
+impl Nic {
+    /// Rate of each active collective flow: equal NIC sharing.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.active.max(1) as f64
+    }
+
+    /// Fold `dt` seconds at the current membership into the accounting.
+    pub fn accumulate(&mut self, dt: f64) {
+        if self.active > 0 {
+            self.busy += dt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sm_pool_clamps_oversubscribed_load() {
+        let mut pool = SmPool {
+            load: 2.5,
+            ..SmPool::default()
+        };
+        pool.accumulate(2.0);
+        assert_eq!(pool.busy, 2.0);
+        pool.load = 0.25;
+        pool.accumulate(2.0);
+        assert_eq!(pool.busy, 2.5);
+        pool.load = 0.0;
+        pool.accumulate(5.0);
+        assert_eq!(pool.busy, 2.5);
+    }
+
+    #[test]
+    fn link_and_nic_share_equally() {
+        let link = PcieLink { users: 4 };
+        assert_eq!(link.rate(), 0.25);
+        let idle = PcieLink::default();
+        assert_eq!(idle.rate(), 1.0);
+        let nic = Nic {
+            active: 16,
+            busy: 0.0,
+        };
+        assert_eq!(nic.rate(), 1.0 / 16.0);
+    }
+
+    #[test]
+    fn nic_busy_counts_only_active_intervals() {
+        let mut nic = Nic::default();
+        nic.accumulate(1.0);
+        assert_eq!(nic.busy, 0.0);
+        nic.active = 3;
+        nic.accumulate(0.5);
+        assert_eq!(nic.busy, 0.5);
+    }
+}

@@ -1,0 +1,774 @@
+//! The discrete-event core: ranks, flows, resources and the event loop.
+//!
+//! The engine replays recorded [`RankTrace`]s against typed shared
+//! resources ([`SmPool`], [`PcieLink`], [`Nic`]) on one virtual clock.
+//! Between events every active *flow* (a rank's current segment, or the
+//! head of its async transfer stream) drains at a constant rate; an event
+//! is whatever changes a rate:
+//!
+//! * a flow completing (predicted on the [`EventHeap`], lazily
+//!   invalidated when resource membership shifts),
+//! * a barrier releasing (the last rank arriving at a collective),
+//! * a stream draining (waking a kernel that was waiting on its data).
+//!
+//! Kernel arbitration is delegated to the configured
+//! [`SchedulePolicy`]; host segments always run at rate 1 (cores are
+//! partitioned among ranks and segments were sized for their thread
+//! count); PCIe links and NICs are shared equally among their users.
+//!
+//! The semantics for the default configuration (one node, synchronous
+//! transfers, MPS or time-sliced arbitration) are those of the original
+//! analytic replay, reproduced step for step — the golden-path regression
+//! in `repro-bench` holds the engine to the pre-refactor makespans within
+//! 1e-9.
+
+use std::collections::VecDeque;
+
+use crate::engine::event::{Completion, EventHeap, FlowId};
+use crate::engine::policy::{GpuSchedContext, KernelReq, SchedulePolicy};
+use crate::engine::resources::{Nic, PcieLink, SmPool};
+use crate::node::{GpuSample, NodeConfig, NodeOom, NodeTimeline, TimelineEvent, TimelineKind};
+use crate::trace::{RankTrace, Segment};
+
+/// Everything the event loop accumulates.
+#[derive(Debug, Default)]
+pub(crate) struct SimOutput {
+    /// Per-rank completion times, global rank order (node-major).
+    pub rank_seconds: Vec<f64>,
+    /// Per-GPU busy seconds, global GPU order (node-major).
+    pub gpu_busy: Vec<f64>,
+    /// Per-GPU context-switch seconds, global GPU order.
+    pub switch_seconds: Vec<f64>,
+    /// Per-node NIC busy seconds.
+    pub nic_busy: Vec<f64>,
+    /// Summed per-rank seconds spent inside collectives (network phase).
+    pub collective_seconds: f64,
+    /// Summed per-rank seconds spent waiting at collective barriers.
+    pub collective_wait_seconds: f64,
+    /// The contention-resolved wall-clock timeline (empty unless
+    /// recording was requested).
+    pub timeline: NodeTimeline,
+}
+
+impl SimOutput {
+    /// Wall-clock seconds until the last rank finished.
+    pub fn wall_seconds(&self) -> f64 {
+        self.rank_seconds.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// What a rank's main flow is currently doing.
+#[derive(Debug, Clone)]
+enum Activity {
+    /// Running host code; `remaining` host-seconds left.
+    Host { remaining: f64 },
+    /// Kernel on global GPU `gpu`: `remaining` device-seconds of demand
+    /// at solo utilisation `util`.
+    Kernel {
+        gpu: usize,
+        remaining: f64,
+        util: f64,
+    },
+    /// Synchronous transfer on `gpu`'s PCIe link; `remaining`
+    /// link-seconds.
+    Transfer { gpu: usize, remaining: f64 },
+    /// Inside a collective's network phase on `node`'s NIC; `remaining`
+    /// NIC-seconds (the analytic solo cost).
+    Collective { node: usize, remaining: f64 },
+    /// Arrived at collective barrier `seq`; `seconds` of network demand
+    /// pending release.
+    Barrier { seconds: f64 },
+    /// Blocked until the rank's async transfer stream drains (a kernel
+    /// needs the data, or the trace ended with transfers in flight).
+    StreamWait,
+    /// All segments consumed and the stream drained.
+    Done,
+}
+
+/// One queued asynchronous transfer on a rank's stream.
+#[derive(Debug, Clone)]
+struct StreamXfer {
+    remaining: f64,
+    label: String,
+}
+
+struct RankState<'a> {
+    segments: &'a [Segment],
+    next: usize,
+    activity: Activity,
+    finish: f64,
+    /// Device part of a kernel whose host lead-in (dispatch + launch
+    /// latency) is currently running: `(device_seconds, utilization,
+    /// kernel name)`.
+    pending_kernel: Option<(f64, f64, String)>,
+    /// Label of the current activity (for the timeline).
+    cur_label: String,
+    /// Wall-clock start of the current activity.
+    cur_start: f64,
+    /// Home node of this rank.
+    node: usize,
+    /// Global GPU index this rank's device work lands on.
+    gpu: usize,
+    /// Virtual time the current kernel reached the device (FIFO key).
+    kernel_arrival: f64,
+    /// Index of the next collective segment this rank will join.
+    collective_seq: usize,
+    /// FIFO of asynchronous transfers (head is on the link).
+    stream: VecDeque<StreamXfer>,
+    /// Wall-clock time the current stream head reached the link.
+    stream_head_start: f64,
+    /// Cached service rates, generations and dirty flags per flow.
+    main_rate: f64,
+    main_gen: u64,
+    main_dirty: bool,
+    stream_rate: f64,
+    stream_gen: u64,
+    stream_dirty: bool,
+}
+
+impl RankState<'_> {
+    fn remaining_main(&self) -> Option<f64> {
+        match &self.activity {
+            Activity::Host { remaining }
+            | Activity::Kernel { remaining, .. }
+            | Activity::Transfer { remaining, .. }
+            | Activity::Collective { remaining, .. } => Some(*remaining),
+            Activity::Barrier { .. } | Activity::StreamWait | Activity::Done => None,
+        }
+    }
+}
+
+/// One collective barrier: how many ranks must arrive, who is waiting.
+struct BarrierGroup {
+    expected: usize,
+    arrived: usize,
+    waiting: Vec<usize>,
+}
+
+pub(crate) struct Engine<'a> {
+    cfg: &'a NodeConfig,
+    policy: &'a dyn SchedulePolicy,
+    record: bool,
+    gpus_per_node: usize,
+    ranks: Vec<RankState<'a>>,
+    pools: Vec<SmPool>,
+    links: Vec<PcieLink>,
+    nics: Vec<Nic>,
+    groups: Vec<BarrierGroup>,
+    heap: EventHeap,
+    timeline: NodeTimeline,
+    collective_seconds: f64,
+    collective_wait_seconds: f64,
+    /// Scratch: per-GPU kernel requests and policy-assigned rates.
+    kernel_reqs: Vec<Vec<KernelReq>>,
+    kernel_rates: Vec<Vec<f64>>,
+    now: f64,
+}
+
+/// Replay `node_traces` (one slice of rank traces per node) against the
+/// engine's resources. Returns the accumulated accounting or an OOM when
+/// the combined peak footprints of the ranks sharing a GPU exceed its
+/// memory (`NodeOom::gpu` is the *global* GPU index).
+pub(crate) fn simulate(
+    node_traces: &[&[RankTrace]],
+    cfg: &NodeConfig,
+    record: bool,
+) -> Result<SimOutput, NodeOom> {
+    let gpus = cfg.gpus.max(1) as usize;
+
+    // Memory feasibility per physical GPU: peak footprints of co-located
+    // ranks must fit.
+    for (n, traces) in node_traces.iter().enumerate() {
+        for g in 0..gpus {
+            let demanded: u64 = traces
+                .iter()
+                .enumerate()
+                .filter(|(r, _)| r % gpus == g)
+                .map(|(_, t)| t.peak_device_bytes)
+                .sum();
+            if demanded > cfg.calib.gpu.mem_bytes {
+                return Err(NodeOom {
+                    gpu: (n * gpus + g) as u32,
+                    demanded,
+                    capacity: cfg.calib.gpu.mem_bytes,
+                });
+            }
+        }
+    }
+
+    let mut engine = Engine::new(node_traces, cfg, record);
+    engine.run();
+    Ok(engine.into_output())
+}
+
+impl<'a> Engine<'a> {
+    fn new(node_traces: &[&'a [RankTrace]], cfg: &'a NodeConfig, record: bool) -> Self {
+        let gpus = cfg.gpus.max(1) as usize;
+        let nodes = node_traces.len();
+        let total_gpus = nodes * gpus;
+
+        let mut ranks: Vec<RankState<'a>> = Vec::new();
+        for (n, traces) in node_traces.iter().enumerate() {
+            for (local, t) in traces.iter().enumerate() {
+                ranks.push(RankState {
+                    segments: &t.segments,
+                    next: 0,
+                    activity: Activity::Done,
+                    finish: 0.0,
+                    pending_kernel: None,
+                    cur_label: String::new(),
+                    cur_start: 0.0,
+                    node: n,
+                    gpu: n * gpus + local % gpus,
+                    kernel_arrival: 0.0,
+                    collective_seq: 0,
+                    stream: VecDeque::new(),
+                    stream_head_start: 0.0,
+                    main_rate: 0.0,
+                    main_gen: 0,
+                    main_dirty: true,
+                    stream_rate: 0.0,
+                    stream_gen: 0,
+                    stream_dirty: true,
+                });
+            }
+        }
+
+        let mut pools: Vec<SmPool> = vec![SmPool::default(); total_gpus];
+        for r in &ranks {
+            pools[r.gpu].clients += 1;
+        }
+
+        // Barrier groups: collective `s` involves every rank whose trace
+        // contains more than `s` collective segments, so symmetric jobs
+        // synchronise globally and ragged traces cannot deadlock.
+        let counts: Vec<usize> = ranks
+            .iter()
+            .map(|r| {
+                r.segments
+                    .iter()
+                    .filter(|s| matches!(s, Segment::Collective { .. }))
+                    .count()
+            })
+            .collect();
+        let max_seq = counts.iter().copied().max().unwrap_or(0);
+        let groups = (0..max_seq)
+            .map(|s| BarrierGroup {
+                expected: counts.iter().filter(|&&c| c > s).count(),
+                arrived: 0,
+                waiting: Vec::new(),
+            })
+            .collect();
+
+        Self {
+            cfg,
+            policy: cfg.schedule.resolve(cfg.mps),
+            record,
+            gpus_per_node: gpus,
+            ranks,
+            pools,
+            links: vec![PcieLink::default(); total_gpus],
+            nics: vec![Nic::default(); nodes],
+            groups,
+            heap: EventHeap::new(),
+            timeline: NodeTimeline::default(),
+            collective_seconds: 0.0,
+            collective_wait_seconds: 0.0,
+            kernel_reqs: vec![Vec::new(); total_gpus],
+            kernel_rates: vec![Vec::new(); total_gpus],
+            now: 0.0,
+        }
+    }
+
+    fn run(&mut self) {
+        // Prime every rank's first activity.
+        for r in 0..self.ranks.len() {
+            self.advance_segment(r);
+            self.enter_kernel_if_needed(r);
+        }
+
+        let mut guard = 0usize;
+        let guard_limit = 20
+            * self
+                .ranks
+                .iter()
+                .map(|s| s.segments.len() + 2)
+                .sum::<usize>()
+            + 1000;
+
+        loop {
+            guard += 1;
+            assert!(guard < guard_limit, "replay failed to converge");
+
+            self.refresh_rates();
+
+            // Predicted completion of the earliest valid flow defines dt.
+            let ranks = &self.ranks;
+            let popped = self.heap.pop_valid(|r, flow| match flow {
+                FlowId::Main => ranks[r].main_gen,
+                FlowId::Stream => ranks[r].stream_gen,
+            });
+            let Some((t, completion)) = popped else {
+                // Nothing can complete: everything is Done, or the replay
+                // deadlocked (a barrier that can never fill) — the latter
+                // is a bug worth failing loudly on.
+                let stuck = self
+                    .ranks
+                    .iter()
+                    .filter(|s| !matches!(s.activity, Activity::Done))
+                    .count();
+                assert!(
+                    stuck == 0,
+                    "replay deadlocked: {stuck} rank(s) blocked with no pending event"
+                );
+                break;
+            };
+            let dt = (t - self.now).max(0.0);
+
+            if self.record {
+                for (g, pool) in self.pools.iter().enumerate() {
+                    self.timeline.occupancy.push(GpuSample {
+                        t: self.now,
+                        gpu: g,
+                        load: pool.load.min(1.0),
+                    });
+                }
+            }
+            self.now += dt;
+            for pool in &mut self.pools {
+                pool.accumulate(dt);
+            }
+            for nic in &mut self.nics {
+                nic.accumulate(dt);
+            }
+            self.collective_seconds += dt
+                * self
+                    .ranks
+                    .iter()
+                    .filter(|s| matches!(s.activity, Activity::Collective { .. }))
+                    .count() as f64;
+
+            // Advance every flow and process completions in rank order.
+            let mut completed_popped = false;
+            for r in 0..self.ranks.len() {
+                let main_finished = {
+                    let s = &mut self.ranks[r];
+                    let served = s.main_rate * dt;
+                    match &mut s.activity {
+                        Activity::Host { remaining }
+                        | Activity::Kernel { remaining, .. }
+                        | Activity::Transfer { remaining, .. }
+                        | Activity::Collective { remaining, .. } => {
+                            *remaining -= served;
+                            *remaining <= 1e-15
+                        }
+                        _ => false,
+                    }
+                };
+                if main_finished {
+                    if completion.rank == r && completion.flow == FlowId::Main {
+                        completed_popped = true;
+                    }
+                    self.complete_main(r);
+                }
+
+                let stream_finished = {
+                    let s = &mut self.ranks[r];
+                    match s.stream.front_mut() {
+                        Some(head) => {
+                            head.remaining -= s.stream_rate * dt;
+                            head.remaining <= 1e-15
+                        }
+                        None => false,
+                    }
+                };
+                if stream_finished {
+                    if completion.rank == r && completion.flow == FlowId::Stream {
+                        completed_popped = true;
+                    }
+                    self.complete_stream_head(r);
+                }
+            }
+
+            // The popped prediction can miss by an ulp when the clock is
+            // large; if its flow survived, force a fresh prediction so the
+            // replay cannot stall.
+            if !completed_popped {
+                match completion.flow {
+                    FlowId::Main => self.ranks[completion.rank].main_dirty = true,
+                    FlowId::Stream => self.ranks[completion.rank].stream_dirty = true,
+                }
+            }
+        }
+    }
+
+    /// Recompute resource membership and every flow's service rate;
+    /// schedule fresh completion predictions for flows whose rate changed.
+    fn refresh_rates(&mut self) {
+        for pool in &mut self.pools {
+            pool.load = 0.0;
+        }
+        for link in &mut self.links {
+            link.users = 0;
+        }
+        for nic in &mut self.nics {
+            nic.active = 0;
+        }
+        for reqs in &mut self.kernel_reqs {
+            reqs.clear();
+        }
+
+        for (r, s) in self.ranks.iter().enumerate() {
+            match &s.activity {
+                Activity::Kernel { gpu, util, .. } => {
+                    self.pools[*gpu].load += *util;
+                    self.kernel_reqs[*gpu].push(KernelReq {
+                        rank: r,
+                        util: *util,
+                        arrival: s.kernel_arrival,
+                    });
+                }
+                Activity::Transfer { gpu, .. } => self.links[*gpu].users += 1,
+                Activity::Collective { node, .. } => self.nics[*node].active += 1,
+                _ => {}
+            }
+            if !s.stream.is_empty() {
+                self.links[s.gpu].users += 1;
+            }
+        }
+
+        for g in 0..self.pools.len() {
+            self.kernel_rates[g].clear();
+            if !self.kernel_reqs[g].is_empty() {
+                let ctx = GpuSchedContext {
+                    calib: &self.cfg.calib.gpu,
+                    load: self.pools[g].load,
+                    clients: self.pools[g].clients,
+                };
+                self.policy
+                    .rates(&ctx, &self.kernel_reqs[g], &mut self.kernel_rates[g]);
+            }
+        }
+        // Scatter policy rates back by rank.
+        let mut kernel_rate_of = vec![0.0f64; self.ranks.len()];
+        for g in 0..self.kernel_reqs.len() {
+            for (i, req) in self.kernel_reqs[g].iter().enumerate() {
+                kernel_rate_of[req.rank] = self.kernel_rates[g][i];
+            }
+        }
+
+        // Indexed in rank order on purpose: r addresses ranks,
+        // kernel_rate_of, links and nics together, and the order is the
+        // FP-determinism contract.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..self.ranks.len() {
+            let main_rate = match &self.ranks[r].activity {
+                Activity::Host { .. } => 1.0,
+                Activity::Kernel { .. } => kernel_rate_of[r],
+                Activity::Transfer { gpu, .. } => self.links[*gpu].rate(),
+                Activity::Collective { node, .. } => self.nics[*node].rate(),
+                Activity::Barrier { .. } | Activity::StreamWait | Activity::Done => 0.0,
+            };
+            let s = &mut self.ranks[r];
+            if s.main_dirty || main_rate != s.main_rate {
+                s.main_rate = main_rate;
+                s.main_dirty = false;
+                s.main_gen += 1;
+                if main_rate > 0.0 {
+                    if let Some(remaining) = s.remaining_main() {
+                        self.heap.push(
+                            self.now + remaining / main_rate,
+                            Completion {
+                                rank: r,
+                                flow: FlowId::Main,
+                                gen: s.main_gen,
+                            },
+                        );
+                    }
+                }
+            }
+
+            let stream_rate = if self.ranks[r].stream.is_empty() {
+                0.0
+            } else {
+                self.links[self.ranks[r].gpu].rate()
+            };
+            let s = &mut self.ranks[r];
+            if s.stream_dirty || stream_rate != s.stream_rate {
+                s.stream_rate = stream_rate;
+                s.stream_dirty = false;
+                s.stream_gen += 1;
+                if stream_rate > 0.0 {
+                    if let Some(head) = s.stream.front() {
+                        self.heap.push(
+                            self.now + head.remaining / stream_rate,
+                            Completion {
+                                rank: r,
+                                flow: FlowId::Stream,
+                                gen: s.stream_gen,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A rank's main flow finished: record it, move to the next segment.
+    fn complete_main(&mut self, r: usize) {
+        if self.record {
+            let (kind, gpu) = match &self.ranks[r].activity {
+                Activity::Host { .. } => (TimelineKind::Host, None),
+                Activity::Kernel { gpu, .. } => (TimelineKind::Kernel, Some(*gpu)),
+                Activity::Transfer { gpu, .. } => (TimelineKind::Transfer, Some(*gpu)),
+                Activity::Collective { .. } => (TimelineKind::Collective, None),
+                _ => unreachable!("finished implies a timed activity"),
+            };
+            self.timeline.events.push(TimelineEvent {
+                rank: r,
+                gpu,
+                label: self.ranks[r].cur_label.clone(),
+                kind,
+                start: self.ranks[r].cur_start,
+                end: self.now,
+            });
+        }
+        self.advance_segment(r);
+        self.ranks[r].cur_start = self.now;
+        self.enter_kernel_if_needed(r);
+        self.finish_if_done(r);
+    }
+
+    /// The head of a rank's async transfer stream finished.
+    fn complete_stream_head(&mut self, r: usize) {
+        let head = self.ranks[r].stream.pop_front().expect("head exists");
+        if self.record {
+            self.timeline.events.push(TimelineEvent {
+                rank: r,
+                gpu: Some(self.ranks[r].gpu),
+                label: head.label,
+                kind: TimelineKind::Transfer,
+                start: self.ranks[r].stream_head_start,
+                end: self.now,
+            });
+        }
+        self.ranks[r].stream_head_start = self.now;
+        self.ranks[r].stream_dirty = true;
+        if self.ranks[r].stream.is_empty() && matches!(self.ranks[r].activity, Activity::StreamWait)
+        {
+            // The stream drained while the main flow was synchronising on
+            // it: record the wait and resume the segment chain.
+            if self.record && self.now > self.ranks[r].cur_start {
+                self.timeline.events.push(TimelineEvent {
+                    rank: r,
+                    gpu: Some(self.ranks[r].gpu),
+                    label: "stream_sync".into(),
+                    kind: TimelineKind::Wait,
+                    start: self.ranks[r].cur_start,
+                    end: self.now,
+                });
+            }
+            self.advance_segment(r);
+            self.ranks[r].cur_start = self.now;
+            self.enter_kernel_if_needed(r);
+            self.finish_if_done(r);
+        }
+    }
+
+    fn finish_if_done(&mut self, r: usize) {
+        if matches!(self.ranks[r].activity, Activity::Done) && self.ranks[r].finish == 0.0 {
+            self.ranks[r].finish = self.now;
+        }
+    }
+
+    /// Charge the policy's context-switch demand when a rank's new
+    /// activity is a kernel, and stamp its arrival for FIFO arbitration.
+    fn enter_kernel_if_needed(&mut self, r: usize) {
+        let gpu = match &self.ranks[r].activity {
+            Activity::Kernel { gpu, .. } => *gpu,
+            _ => return,
+        };
+        self.ranks[r].kernel_arrival = self.now;
+        let ctx = GpuSchedContext {
+            calib: &self.cfg.calib.gpu,
+            load: self.pools[gpu].load,
+            clients: self.pools[gpu].clients,
+        };
+        let extra = self.policy.switch_demand(&ctx);
+        if extra > 0.0 {
+            if let Activity::Kernel { remaining, .. } = &mut self.ranks[r].activity {
+                *remaining += extra;
+            }
+            self.pools[gpu].switch_seconds += extra;
+            if self.record {
+                self.timeline.events.push(TimelineEvent {
+                    rank: r,
+                    gpu: Some(gpu),
+                    label: "context_switch".into(),
+                    kind: TimelineKind::ContextSwitch,
+                    start: self.now,
+                    end: self.now,
+                });
+            }
+        }
+    }
+
+    /// Pop the next segment of rank `r` into its activity slot. A `Kernel`
+    /// segment expands to a host lead-in (dispatch + launch latency)
+    /// followed by the device part, staged through `pending_kernel`.
+    /// Under overlapped transfers, `Transfer` segments enqueue on the
+    /// rank's stream without blocking, and a `Kernel` segment synchronises
+    /// on the stream first.
+    fn advance_segment(&mut self, r: usize) {
+        let now = self.now;
+        let overlap = self.cfg.overlap_transfers;
+        let mut barrier_arrival: Option<usize> = None;
+        {
+            let state = &mut self.ranks[r];
+            let gpu = state.gpu;
+            state.main_dirty = true;
+            if let Some((remaining, util, name)) = state.pending_kernel.take() {
+                state.cur_label = name;
+                state.activity = Activity::Kernel {
+                    gpu,
+                    remaining,
+                    util,
+                };
+                return;
+            }
+            state.activity = loop {
+                let Some(seg) = state.segments.get(state.next) else {
+                    if !state.stream.is_empty() {
+                        state.cur_label = "stream_sync".into();
+                        break Activity::StreamWait;
+                    }
+                    break Activity::Done;
+                };
+                // A kernel consumes data the stream may still be moving:
+                // synchronise before the launch (decided before consuming
+                // the segment, so the retry after the drain sees it again).
+                if overlap && !state.stream.is_empty() && matches!(seg, Segment::Kernel { .. }) {
+                    state.cur_label = "stream_sync".into();
+                    break Activity::StreamWait;
+                }
+                state.next += 1;
+                match seg {
+                    Segment::Host { seconds, label } => {
+                        if *seconds > 0.0 {
+                            state.cur_label.clone_from(label);
+                            break Activity::Host {
+                                remaining: *seconds,
+                            };
+                        }
+                    }
+                    Segment::Kernel { profile, dispatch } => {
+                        let lead = dispatch + self.cfg.calib.gpu.launch_latency;
+                        state.pending_kernel = Some((
+                            profile.device_seconds(&self.cfg.calib.gpu),
+                            profile.solo_utilization(&self.cfg.calib.gpu).max(1e-6),
+                            profile.name.clone(),
+                        ));
+                        state.cur_label = format!("{}/dispatch", profile.name);
+                        break Activity::Host {
+                            remaining: lead.max(1e-12),
+                        };
+                    }
+                    Segment::Transfer { bytes, label, .. } => {
+                        let t =
+                            self.cfg.calib.gpu.pcie_latency + bytes / self.cfg.calib.gpu.pcie_bw;
+                        if overlap {
+                            state.stream.push_back(StreamXfer {
+                                remaining: t,
+                                label: label.clone(),
+                            });
+                            if state.stream.len() == 1 {
+                                state.stream_head_start = now;
+                            }
+                            state.stream_dirty = true;
+                            continue;
+                        }
+                        state.cur_label.clone_from(label);
+                        break Activity::Transfer { gpu, remaining: t };
+                    }
+                    Segment::DeviceAlloc { seconds } => {
+                        if *seconds > 0.0 {
+                            state.cur_label = "accel_data_alloc".into();
+                            break Activity::Host {
+                                remaining: *seconds,
+                            };
+                        }
+                    }
+                    Segment::Collective { seconds, label, .. } => {
+                        let seq = state.collective_seq;
+                        state.collective_seq += 1;
+                        state.cur_label.clone_from(label);
+                        state.cur_start = now;
+                        barrier_arrival = Some(seq);
+                        break Activity::Barrier { seconds: *seconds };
+                    }
+                }
+            };
+        }
+        if let Some(seq) = barrier_arrival {
+            self.arrive_barrier(r, seq);
+        }
+    }
+
+    /// Rank `r` reached collective barrier `seq`; release everyone when it
+    /// was the last participant.
+    fn arrive_barrier(&mut self, r: usize, seq: usize) {
+        let group = &mut self.groups[seq];
+        group.arrived += 1;
+        group.waiting.push(r);
+        if group.arrived < group.expected {
+            return;
+        }
+        let waiting = std::mem::take(&mut self.groups[seq].waiting);
+        for w in waiting {
+            let wait = self.now - self.ranks[w].cur_start;
+            self.collective_wait_seconds += wait;
+            if self.record && wait > 0.0 {
+                self.timeline.events.push(TimelineEvent {
+                    rank: w,
+                    gpu: None,
+                    label: format!("{}/wait", self.ranks[w].cur_label),
+                    kind: TimelineKind::Wait,
+                    start: self.ranks[w].cur_start,
+                    end: self.now,
+                });
+            }
+            let node = self.ranks[w].node;
+            let seconds = match self.ranks[w].activity {
+                Activity::Barrier { seconds } => seconds,
+                ref other => unreachable!("waiting rank must be at the barrier, was {other:?}"),
+            };
+            self.ranks[w].activity = Activity::Collective {
+                node,
+                remaining: seconds,
+            };
+            self.ranks[w].cur_start = self.now;
+            self.ranks[w].main_dirty = true;
+        }
+    }
+
+    fn into_output(self) -> SimOutput {
+        SimOutput {
+            rank_seconds: self.ranks.iter().map(|s| s.finish).collect(),
+            gpu_busy: self.pools.iter().map(|p| p.busy).collect(),
+            switch_seconds: self.pools.iter().map(|p| p.switch_seconds).collect(),
+            nic_busy: self.nics.iter().map(|n| n.busy).collect(),
+            collective_seconds: self.collective_seconds,
+            collective_wait_seconds: self.collective_wait_seconds,
+            timeline: self.timeline,
+        }
+    }
+}
+
+// `gpus_per_node` is carried for future per-node views of the global
+// arrays; silence the field until a consumer lands.
+impl Engine<'_> {
+    #[allow(dead_code)]
+    fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+}

@@ -15,13 +15,17 @@
 //!   compute, kernel launches (with a [`profile::KernelProfile`] work
 //!   descriptor), PCIe transfers, allocations.
 //!
-//! A node-level discrete-event simulation ([`node`]) then replays the
-//! traces of all ranks against shared resources: each GPU is a fluid
-//! processor-sharing server (the MPS model) or an exclusive
-//! context-switching server (the no-MPS model the paper's § 3.1.2
-//! describes), each PCIe link is a shared channel, and host segments run
-//! concurrently across ranks. Wall time, per-GPU busy time, queueing and
-//! out-of-memory conditions all *emerge* from the replay.
+//! A discrete-event engine ([`engine`]) then replays the traces of all
+//! ranks against typed shared resources on one virtual clock: each GPU is
+//! an SM pool arbitrated by a pluggable [`engine::SchedulePolicy`] (the
+//! MPS processor-sharing fluid, exclusive context time-slicing as the
+//! paper's § 3.1.2 describes, FIFO or priority what-ifs), each PCIe link
+//! is a shared channel with optional per-rank asynchronous transfer
+//! streams, each node NIC carries inter-node collectives, and host
+//! segments run concurrently across ranks. Wall time, per-GPU busy time,
+//! queueing, network congestion and out-of-memory conditions all *emerge*
+//! from the replay. [`simulate_node`] is the single-node surface over the
+//! engine; [`engine::simulate_cluster`] replays many nodes at once.
 //!
 //! Calibration constants live in [`calib`] and are documented against
 //! public A100/Milan specifications; see `DESIGN.md` § 5 for the honesty
@@ -30,14 +34,18 @@
 pub mod calib;
 pub mod comm;
 pub mod context;
+pub mod engine;
 pub mod node;
 pub mod profile;
 pub mod trace;
 
-pub use calib::{CpuCalib, DeviceCalib, NodeCalib};
+pub use calib::{CpuCalib, DeviceCalib, NetCalib, NodeCalib};
 pub use context::{Context, MemoryError};
+pub use engine::{
+    simulate_cluster, simulate_cluster_traced, ClusterResult, SchedulePolicy, SchedulePolicyKind,
+};
 pub use node::{
-    simulate_node, simulate_node_traced, GpuSample, NodeConfig, NodeResult, NodeTimeline,
+    simulate_node, simulate_node_traced, GpuSample, NodeConfig, NodeOom, NodeResult, NodeTimeline,
     TimelineEvent, TimelineKind,
 };
 pub use profile::KernelProfile;

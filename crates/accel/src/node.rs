@@ -1,27 +1,30 @@
-//! Node-level discrete-event replay of rank traces against shared GPUs.
+//! Node-level replay of rank traces against shared GPUs.
 //!
 //! Fig. 4 of the paper varies the number of processes on one node while
 //! holding total resources fixed; its shape (oversubscription pays until
 //! ~2 processes per GPU, then per-process overheads win) is an interaction
-//! between per-rank timelines and shared devices. This module reproduces
-//! that interaction with a fluid discrete-event simulation:
+//! between per-rank timelines and shared devices. This module is the
+//! single-node surface over the discrete-event engine in
+//! [`crate::engine`], which resolves that interaction:
 //!
 //! * **Host segments** of different ranks run concurrently (cores are
 //!   partitioned among ranks; segments were sized for their thread count).
-//! * **Kernels** on a GPU with **MPS** share it as a processor-sharing
-//!   fluid: kernel *i* with solo utilisation `u_i` receives rate
-//!   `u_i · min(1, 1/Σu)` — an under-filled device runs concurrent kernels
-//!   at full speed (the oversubscription benefit), a saturated one
-//!   time-shares.
-//! * **Without MPS** the driver time-slices whole CUDA contexts with
-//!   coarse quanta: a rank receives `1/k` of its GPU whether or not its
-//!   co-tenants are computing, plus a context-switch charge — the paper's
-//!   § 3.1.2 observation that non-MPS throughput caps near one process
-//!   per device.
-//! * **PCIe** is a per-GPU link shared equally by active transfers.
+//! * **Kernels** share their GPU under the configured
+//!   [`SchedulePolicyKind`] — by default the paper's MPS processor-sharing
+//!   fluid when [`NodeConfig::mps`] is set, exclusive context time-slicing
+//!   (with per-kernel switch charges, § 3.1.2) when it is not.
+//! * **PCIe** is a per-GPU link shared equally by active transfers; with
+//!   [`NodeConfig::overlap_transfers`] each rank gains an asynchronous
+//!   transfer stream that overlaps data movement with host work, and
+//!   kernels synchronise on it before launching.
+//! * **Collective segments** barrier across all ranks and then occupy the
+//!   node NIC (see [`crate::engine::simulate_cluster`] for the multi-node
+//!   entry point).
 
 use crate::calib::NodeCalib;
-use crate::trace::{RankTrace, Segment};
+use crate::engine::sim::simulate;
+use crate::engine::SchedulePolicyKind;
+use crate::trace::RankTrace;
 
 /// Node configuration for a replay.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +34,13 @@ pub struct NodeConfig {
     pub gpus: u32,
     /// Whether the CUDA Multi-Process Service is active.
     pub mps: bool,
+    /// Kernel arbitration policy; [`SchedulePolicyKind::Auto`] follows
+    /// `mps` (the pre-engine behaviour).
+    pub schedule: SchedulePolicyKind,
+    /// Give each rank an asynchronous transfer stream: H2D/D2H segments
+    /// enqueue without blocking and drain concurrently with host work;
+    /// kernels synchronise on the stream before launching.
+    pub overlap_transfers: bool,
 }
 
 impl Default for NodeConfig {
@@ -39,6 +49,8 @@ impl Default for NodeConfig {
             calib: NodeCalib::default(),
             gpus: 4,
             mps: true,
+            schedule: SchedulePolicyKind::Auto,
+            overlap_transfers: false,
         }
     }
 }
@@ -68,6 +80,11 @@ pub enum TimelineKind {
     /// A context swap charged to a non-MPS kernel (instant marker at the
     /// kernel's scheduling time; its cost is folded into the kernel).
     ContextSwitch,
+    /// The network phase of an inter-node collective.
+    Collective,
+    /// Blocked time: a rank waiting at a collective barrier, or a kernel
+    /// waiting for its transfer stream to drain.
+    Wait,
 }
 
 impl TimelineKind {
@@ -78,6 +95,8 @@ impl TimelineKind {
             TimelineKind::Kernel => "kernel",
             TimelineKind::Transfer => "transfer",
             TimelineKind::ContextSwitch => "context_switch",
+            TimelineKind::Collective => "collective",
+            TimelineKind::Wait => "wait",
         }
     }
 }
@@ -124,7 +143,9 @@ pub struct NodeTimeline {
 }
 
 impl NodeTimeline {
-    /// Time-weighted mean occupancy of `gpu` over `horizon` seconds.
+    /// Time-weighted mean occupancy of `gpu` over `[0, horizon]` seconds.
+    /// Intervals (or parts of intervals) past the horizon do not count;
+    /// a non-positive horizon or an unknown GPU yields 0.
     pub fn mean_occupancy(&self, gpu: usize, horizon: f64) -> f64 {
         if horizon <= 0.0 {
             return 0.0;
@@ -132,8 +153,9 @@ impl NodeTimeline {
         let samples: Vec<&GpuSample> = self.occupancy.iter().filter(|s| s.gpu == gpu).collect();
         let mut acc = 0.0;
         for (i, s) in samples.iter().enumerate() {
-            let end = samples.get(i + 1).map_or(horizon, |n| n.t);
-            acc += s.load * (end - s.t).max(0.0);
+            let end = samples.get(i + 1).map_or(horizon, |n| n.t).min(horizon);
+            let start = s.t.min(horizon);
+            acc += s.load * (end - start).max(0.0);
         }
         acc / horizon
     }
@@ -142,7 +164,7 @@ impl NodeTimeline {
 /// A rank's trace does not fit in its share of device memory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeOom {
-    /// GPU index that overflowed.
+    /// GPU index that overflowed (global, node-major, in cluster replays).
     pub gpu: u32,
     /// Total peak bytes demanded by the ranks sharing it.
     pub demanded: u64,
@@ -162,44 +184,13 @@ impl std::fmt::Display for NodeOom {
 
 impl std::error::Error for NodeOom {}
 
-/// What a rank is currently doing in the replay.
-#[derive(Debug, Clone)]
-enum Activity {
-    /// Running host code; `remaining` host-seconds left.
-    Host { remaining: f64 },
-    /// Kernel on `gpu`: `remaining` device-seconds of demand at max rate
-    /// `util`.
-    Kernel {
-        gpu: usize,
-        remaining: f64,
-        util: f64,
-    },
-    /// Transfer on `gpu`'s PCIe link; `remaining` link-seconds.
-    Transfer { gpu: usize, remaining: f64 },
-    /// All segments consumed.
-    Done,
-}
-
-struct RankState<'a> {
-    segments: &'a [Segment],
-    next: usize,
-    activity: Activity,
-    finish: f64,
-    /// Device part of a kernel whose host lead-in (dispatch + launch
-    /// latency) is currently running: `(device_seconds, utilization,
-    /// kernel name)`.
-    pending_kernel: Option<(f64, f64, String)>,
-    /// Label of the current activity (for the timeline).
-    cur_label: String,
-    /// Wall-clock start of the current activity.
-    cur_start: f64,
-}
-
-/// Replay `traces` (one per rank) on a node. Rank `r` uses GPU
-/// `r % gpus`. Returns the emergent wall time or an OOM if the combined
-/// peak footprints of the ranks sharing a GPU exceed its memory.
+/// Replay `traces` (one per rank) on a node through the discrete-event
+/// engine. Rank `r` uses GPU `r % gpus`. Returns the emergent wall time or
+/// an OOM if the combined peak footprints of the ranks sharing a GPU
+/// exceed its memory.
 pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResult, NodeOom> {
-    replay(traces, cfg, false).map(|(res, _)| res)
+    let out = simulate(&[traces], cfg, false)?;
+    Ok(node_result(out))
 }
 
 /// [`simulate_node`], additionally recording the contention-resolved
@@ -208,303 +199,25 @@ pub fn simulate_node_traced(
     traces: &[RankTrace],
     cfg: &NodeConfig,
 ) -> Result<(NodeResult, NodeTimeline), NodeOom> {
-    replay(traces, cfg, true)
+    let mut out = simulate(&[traces], cfg, true)?;
+    let timeline = std::mem::take(&mut out.timeline);
+    Ok((node_result(out), timeline))
 }
 
-fn replay(
-    traces: &[RankTrace],
-    cfg: &NodeConfig,
-    record: bool,
-) -> Result<(NodeResult, NodeTimeline), NodeOom> {
-    let gpus = cfg.gpus.max(1) as usize;
-
-    // Memory feasibility: peak footprints of co-located ranks must fit.
-    for g in 0..gpus {
-        let demanded: u64 = traces
-            .iter()
-            .enumerate()
-            .filter(|(r, _)| r % gpus == g)
-            .map(|(_, t)| t.peak_device_bytes)
-            .sum();
-        if demanded > cfg.calib.gpu.mem_bytes {
-            return Err(NodeOom {
-                gpu: g as u32,
-                demanded,
-                capacity: cfg.calib.gpu.mem_bytes,
-            });
-        }
+fn node_result(out: crate::engine::sim::SimOutput) -> NodeResult {
+    NodeResult {
+        wall_seconds: out.wall_seconds(),
+        rank_seconds: out.rank_seconds,
+        gpu_busy: out.gpu_busy,
+        switch_seconds: out.switch_seconds,
     }
-
-    let mut ranks: Vec<RankState> = traces
-        .iter()
-        .map(|t| RankState {
-            segments: &t.segments,
-            next: 0,
-            activity: Activity::Done,
-            finish: 0.0,
-            pending_kernel: None,
-            cur_label: String::new(),
-            cur_start: 0.0,
-        })
-        .collect();
-    let mut timeline = NodeTimeline::default();
-
-    let mut ranks_per_gpu = vec![0u32; gpus];
-    for r in 0..traces.len() {
-        ranks_per_gpu[r % gpus] += 1;
-    }
-    let mut gpu_busy = vec![0.0f64; gpus];
-    let mut switch_seconds = vec![0.0f64; gpus];
-
-    // Without MPS every kernel dispatch swaps the process's context onto
-    // the device first; the swap is charged as extra demand per kernel.
-    let switch_demand = |gpu: usize| -> f64 {
-        if !cfg.mps && ranks_per_gpu[gpu] > 1 {
-            cfg.calib.gpu.context_switch
-        } else {
-            0.0
-        }
-    };
-
-    // Prime every rank's first activity.
-    for r in 0..ranks.len() {
-        advance_segment(&mut ranks, r, cfg, gpus);
-        if let Activity::Kernel { gpu, remaining, .. } = &mut ranks[r].activity {
-            let gpu = *gpu;
-            let extra = switch_demand(gpu);
-            *remaining += extra;
-            switch_seconds[gpu] += extra;
-            if record && extra > 0.0 {
-                timeline.events.push(TimelineEvent {
-                    rank: r,
-                    gpu: Some(gpu),
-                    label: "context_switch".into(),
-                    kind: TimelineKind::ContextSwitch,
-                    start: 0.0,
-                    end: 0.0,
-                });
-            }
-        }
-    }
-
-    let mut now = 0.0f64;
-    let mut guard = 0usize;
-    let guard_limit = 10 * traces.iter().map(|t| t.segments.len() + 2).sum::<usize>() + 1000;
-
-    loop {
-        guard += 1;
-        assert!(guard < guard_limit, "replay failed to converge");
-
-        // Compute the current rate of every rank's activity.
-        let mut gpu_load = vec![0.0f64; gpus]; // Σ u over active kernels (MPS)
-        let mut link_users = vec![0u32; gpus];
-        for s in &ranks {
-            match &s.activity {
-                Activity::Kernel { gpu, util, .. } => gpu_load[*gpu] += *util,
-                Activity::Transfer { gpu, .. } => link_users[*gpu] += 1,
-                _ => {}
-            }
-        }
-
-        let rate_of = |_r: usize, s: &RankState| -> f64 {
-            match &s.activity {
-                Activity::Host { .. } => 1.0,
-                Activity::Kernel { gpu, util, .. } => {
-                    if cfg.mps {
-                        // Processor sharing: full rate while the device has
-                        // headroom, proportional slowdown once saturated —
-                        // degraded by the MPS crowding penalty as more
-                        // clients share the device.
-                        let k = ranks_per_gpu[*gpu].max(1) as f64;
-                        let crowd = 1.0 + cfg.calib.gpu.mps_crowding * (k - 1.0);
-                        util * (1.0 / gpu_load[*gpu]).min(1.0) / crowd
-                    } else {
-                        // No MPS: the driver time-slices whole CUDA
-                        // contexts with coarse quanta, so a process gets
-                        // 1/k of its device whether or not its co-tenants
-                        // are computing — "effectively capping our
-                        // performance to one process per device"
-                        // (paper 3.1.2). Ownership bookkeeping below only
-                        // prices the switches.
-                        util / ranks_per_gpu[*gpu].max(1) as f64
-                    }
-                }
-                Activity::Transfer { gpu, .. } => 1.0 / link_users[*gpu].max(1) as f64,
-                Activity::Done => 0.0,
-            }
-        };
-
-        // Time to the next completion.
-        let mut dt = f64::INFINITY;
-        for (r, s) in ranks.iter().enumerate() {
-            let rate = rate_of(r, s);
-            let remaining = match &s.activity {
-                Activity::Host { remaining }
-                | Activity::Kernel { remaining, .. }
-                | Activity::Transfer { remaining, .. } => *remaining,
-                Activity::Done => continue,
-            };
-            if rate > 0.0 {
-                dt = dt.min(remaining / rate);
-            }
-        }
-        if !dt.is_finite() {
-            break; // everything Done (or deadlocked, which the guard catches)
-        }
-        let dt = dt.max(0.0);
-
-        // Advance all activities by dt and collect completions.
-        let rates: Vec<f64> = ranks
-            .iter()
-            .enumerate()
-            .map(|(r, s)| rate_of(r, s))
-            .collect();
-        if record {
-            for (g, load) in gpu_load.iter().take(gpus).enumerate() {
-                timeline.occupancy.push(GpuSample {
-                    t: now,
-                    gpu: g,
-                    load: load.min(1.0),
-                });
-            }
-        }
-        now += dt;
-        for g in 0..gpus {
-            let active = if gpu_load[g] > 0.0 {
-                gpu_load[g].min(1.0)
-            } else {
-                0.0
-            };
-            gpu_busy[g] += active * dt;
-        }
-        for r in 0..ranks.len() {
-            let served = rates[r] * dt;
-            let finished = match &mut ranks[r].activity {
-                Activity::Host { remaining }
-                | Activity::Kernel { remaining, .. }
-                | Activity::Transfer { remaining, .. } => {
-                    *remaining -= served;
-                    *remaining <= 1e-15
-                }
-                Activity::Done => false,
-            };
-            if finished {
-                if record {
-                    let (kind, gpu) = match &ranks[r].activity {
-                        Activity::Host { .. } => (TimelineKind::Host, None),
-                        Activity::Kernel { gpu, .. } => (TimelineKind::Kernel, Some(*gpu)),
-                        Activity::Transfer { gpu, .. } => (TimelineKind::Transfer, Some(*gpu)),
-                        Activity::Done => unreachable!("finished implies an activity"),
-                    };
-                    timeline.events.push(TimelineEvent {
-                        rank: r,
-                        gpu,
-                        label: ranks[r].cur_label.clone(),
-                        kind,
-                        start: ranks[r].cur_start,
-                        end: now,
-                    });
-                }
-                advance_segment(&mut ranks, r, cfg, gpus);
-                ranks[r].cur_start = now;
-                if let Activity::Kernel { gpu, remaining, .. } = &mut ranks[r].activity {
-                    let gpu = *gpu;
-                    let extra = switch_demand(gpu);
-                    *remaining += extra;
-                    switch_seconds[gpu] += extra;
-                    if record && extra > 0.0 {
-                        timeline.events.push(TimelineEvent {
-                            rank: r,
-                            gpu: Some(gpu),
-                            label: "context_switch".into(),
-                            kind: TimelineKind::ContextSwitch,
-                            start: now,
-                            end: now,
-                        });
-                    }
-                }
-                if matches!(ranks[r].activity, Activity::Done) && ranks[r].finish == 0.0 {
-                    ranks[r].finish = now;
-                }
-            }
-        }
-    }
-
-    let rank_seconds: Vec<f64> = ranks.iter().map(|s| s.finish).collect();
-    Ok((
-        NodeResult {
-            wall_seconds: rank_seconds.iter().cloned().fold(0.0, f64::max),
-            rank_seconds,
-            gpu_busy,
-            switch_seconds,
-        },
-        timeline,
-    ))
-}
-
-/// Pop the next segment of rank `r` into its activity slot. A `Kernel`
-/// segment expands to a host lead-in (dispatch + launch latency) followed
-/// by the device part, staged through `pending_kernel`.
-fn advance_segment(ranks: &mut [RankState], r: usize, cfg: &NodeConfig, gpus: usize) {
-    let gpu = r % gpus;
-    let state = &mut ranks[r];
-    if let Some((remaining, util, name)) = state.pending_kernel.take() {
-        state.cur_label = name;
-        state.activity = Activity::Kernel {
-            gpu,
-            remaining,
-            util,
-        };
-        return;
-    }
-    state.activity = loop {
-        let Some(seg) = state.segments.get(state.next) else {
-            break Activity::Done;
-        };
-        state.next += 1;
-        match seg {
-            Segment::Host { seconds, label } => {
-                if *seconds > 0.0 {
-                    state.cur_label.clone_from(label);
-                    break Activity::Host {
-                        remaining: *seconds,
-                    };
-                }
-            }
-            Segment::Kernel { profile, dispatch } => {
-                let lead = dispatch + cfg.calib.gpu.launch_latency;
-                state.pending_kernel = Some((
-                    profile.device_seconds(&cfg.calib.gpu),
-                    profile.solo_utilization(&cfg.calib.gpu).max(1e-6),
-                    profile.name.clone(),
-                ));
-                state.cur_label = format!("{}/dispatch", profile.name);
-                break Activity::Host {
-                    remaining: lead.max(1e-12),
-                };
-            }
-            Segment::Transfer { bytes, label, .. } => {
-                let t = cfg.calib.gpu.pcie_latency + bytes / cfg.calib.gpu.pcie_bw;
-                state.cur_label.clone_from(label);
-                break Activity::Transfer { gpu, remaining: t };
-            }
-            Segment::DeviceAlloc { seconds } => {
-                if *seconds > 0.0 {
-                    state.cur_label = "accel_data_alloc".into();
-                    break Activity::Host {
-                        remaining: *seconds,
-                    };
-                }
-            }
-        }
-    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::profile::KernelProfile;
-    use crate::trace::TransferDir;
+    use crate::trace::{Segment, TransferDir};
 
     /// Config with MPS crowding disabled: these tests probe the pure
     /// fluid-sharing mechanics; crowding is exercised separately.
@@ -862,5 +575,172 @@ mod tests {
             .filter(|e| e.kind == TimelineKind::ContextSwitch)
             .count();
         assert_eq!(switches, 2);
+    }
+
+    #[test]
+    fn mean_occupancy_edge_cases() {
+        let tl = NodeTimeline {
+            events: Vec::new(),
+            occupancy: vec![
+                GpuSample {
+                    t: 0.0,
+                    gpu: 0,
+                    load: 1.0,
+                },
+                GpuSample {
+                    t: 2.0,
+                    gpu: 0,
+                    load: 0.0,
+                },
+                GpuSample {
+                    t: 5.0,
+                    gpu: 0,
+                    load: 1.0,
+                },
+            ],
+        };
+        // Zero or negative horizon: defined as 0, not a division by zero.
+        assert_eq!(tl.mean_occupancy(0, 0.0), 0.0);
+        assert_eq!(tl.mean_occupancy(0, -1.0), 0.0);
+        // GPU index with no samples: 0.
+        assert_eq!(tl.mean_occupancy(7, 1.0), 0.0);
+        // Interval [0, 2) at load 1 truncated by horizon 1: full occupancy,
+        // not the 2.0 an unclamped integral would give.
+        assert!((tl.mean_occupancy(0, 1.0) - 1.0).abs() < 1e-12);
+        // Samples entirely past the horizon contribute nothing: over
+        // horizon 4 only [0, 2) is loaded.
+        assert!((tl.mean_occupancy(0, 4.0) - 0.5).abs() < 1e-12);
+        // The final sample extends to the horizon.
+        assert!((tl.mean_occupancy(0, 10.0) - (2.0 + 5.0) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_transfers_hide_behind_host_work() {
+        let mut cfg = NodeConfig {
+            gpus: 1,
+            ..NodeConfig::default()
+        };
+        let bytes = 1e9; // 40 ms on the calibrated link
+        let xfer = cfg.calib.gpu.pcie_latency + bytes / cfg.calib.gpu.pcie_bw;
+        let t = || {
+            trace_with(
+                vec![
+                    Segment::Transfer {
+                        bytes,
+                        dir: TransferDir::HostToDevice,
+                        label: "h2d".into(),
+                    },
+                    host(xfer),
+                ],
+                0,
+            )
+        };
+        let sync = simulate_node(&[t()], &cfg).unwrap().wall_seconds;
+        cfg.overlap_transfers = true;
+        let (res, tl) = simulate_node_traced(&[t()], &cfg).unwrap();
+        // Sequential: transfer + host. Overlapped: they run concurrently.
+        assert!((sync - 2.0 * xfer).abs() < 1e-9, "sync {sync}");
+        assert!(
+            (res.wall_seconds - xfer).abs() < 1e-9,
+            "overlap {} vs {xfer}",
+            res.wall_seconds
+        );
+        // The transfer still shows up as a timed interval.
+        assert!(tl
+            .events
+            .iter()
+            .any(|e| e.kind == TimelineKind::Transfer && e.end > e.start));
+    }
+
+    #[test]
+    fn kernels_synchronize_on_the_transfer_stream() {
+        let mut cfg = NodeConfig {
+            gpus: 1,
+            ..NodeConfig::default()
+        };
+        cfg.overlap_transfers = true;
+        let bytes = 1e9;
+        let xfer = cfg.calib.gpu.pcie_latency + bytes / cfg.calib.gpu.pcie_bw;
+        let k = KernelProfile::uniform("k", 1e9, 100.0, 8.0);
+        let solo = k.solo_seconds(&cfg.calib.gpu);
+        let t = trace_with(
+            vec![
+                Segment::Transfer {
+                    bytes,
+                    dir: TransferDir::HostToDevice,
+                    label: "h2d".into(),
+                },
+                Segment::Kernel {
+                    profile: k,
+                    dispatch: 0.0,
+                },
+            ],
+            0,
+        );
+        let (res, tl) = simulate_node_traced(&[t], &cfg).unwrap();
+        // The kernel must not start before its input lands: wall covers
+        // the full transfer plus the kernel.
+        let expected = xfer + cfg.calib.gpu.launch_latency + solo;
+        assert!(
+            (res.wall_seconds - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            res.wall_seconds
+        );
+        // The stream synchronisation is visible as a wait interval.
+        assert!(tl
+            .events
+            .iter()
+            .any(|e| e.kind == TimelineKind::Wait && e.label == "stream_sync"));
+    }
+
+    #[test]
+    fn fifo_and_priority_policies_serialize_underfilled_kernels() {
+        // Under MPS two 10%-utilisation kernels overlap; FIFO and priority
+        // arbitration grant the device exclusively, so they serialize.
+        let mut cfg = cfg_no_crowding();
+        cfg.gpus = 1;
+        let items = cfg.calib.gpu.saturation_items * 0.1;
+        let k = KernelProfile::uniform("k", items, 1e5, 8.0);
+        let solo = k.solo_seconds(&cfg.calib.gpu);
+        let t = || {
+            trace_with(
+                vec![Segment::Kernel {
+                    profile: k.clone(),
+                    dispatch: 0.0,
+                }],
+                0,
+            )
+        };
+        let overlap = simulate_node(&[t(), t()], &cfg).unwrap().wall_seconds;
+        assert!(overlap < 1.2 * solo, "mps overlap {overlap} vs {solo}");
+        for kind in [SchedulePolicyKind::Fifo, SchedulePolicyKind::Priority] {
+            cfg.schedule = kind;
+            let serial = simulate_node(&[t(), t()], &cfg).unwrap().wall_seconds;
+            assert!(serial > 1.9 * solo, "{kind}: {serial} vs 2x{solo}");
+        }
+    }
+
+    #[test]
+    fn explicit_schedule_overrides_the_mps_flag() {
+        // schedule = MpsFluid with mps = false must behave like MPS.
+        let mut cfg = cfg_no_crowding();
+        cfg.gpus = 1;
+        cfg.mps = false;
+        cfg.schedule = SchedulePolicyKind::MpsFluid;
+        let items = cfg.calib.gpu.saturation_items * 0.1;
+        let k = KernelProfile::uniform("k", items, 1e5, 8.0);
+        let solo = k.solo_seconds(&cfg.calib.gpu);
+        let t = || {
+            trace_with(
+                vec![Segment::Kernel {
+                    profile: k.clone(),
+                    dispatch: 0.0,
+                }],
+                0,
+            )
+        };
+        let res = simulate_node(&[t(), t()], &cfg).unwrap();
+        assert!(res.wall_seconds < 1.2 * solo);
+        assert_eq!(res.switch_seconds[0], 0.0);
     }
 }

@@ -48,6 +48,16 @@ pub enum Segment {
     /// A device-side allocation or free (latency only; capacity accounting
     /// happens in [`crate::context::Context`]).
     DeviceAlloc { seconds: f64 },
+    /// An inter-node collective (e.g. an MPI allreduce) moving `bytes`
+    /// through the node NIC. `seconds` is the *analytic solo* network cost
+    /// (the [`crate::comm`] formulas, which assume the whole NIC); the
+    /// engine barriers all participating ranks and then shares each NIC
+    /// among its node's ranks, so the replayed cost is congestion-aware.
+    Collective {
+        seconds: f64,
+        bytes: f64,
+        label: String,
+    },
 }
 
 impl Segment {
@@ -58,6 +68,7 @@ impl Segment {
             Segment::Kernel { profile, .. } => &profile.name,
             Segment::Transfer { label, .. } => label,
             Segment::DeviceAlloc { .. } => "accel_data_alloc",
+            Segment::Collective { label, .. } => label,
         }
     }
 }
@@ -75,6 +86,8 @@ pub enum SpanKind {
     Alloc,
     /// Device free (instant).
     Free,
+    /// An inter-node collective (analytic solo network cost).
+    Collective,
     /// A failed allocation — device out of memory (instant).
     Oom,
     /// A phase opened with [`crate::context::Context::push_phase`]: spans
@@ -91,6 +104,7 @@ impl SpanKind {
             SpanKind::Transfer => "transfer",
             SpanKind::Alloc => "alloc",
             SpanKind::Free => "free",
+            SpanKind::Collective => "collective",
             SpanKind::Oom => "oom",
             SpanKind::Phase => "phase",
         }
@@ -102,7 +116,11 @@ impl SpanKind {
     pub fn is_timed(self) -> bool {
         matches!(
             self,
-            SpanKind::Host | SpanKind::Kernel | SpanKind::Transfer | SpanKind::Alloc
+            SpanKind::Host
+                | SpanKind::Kernel
+                | SpanKind::Transfer
+                | SpanKind::Alloc
+                | SpanKind::Collective
         )
     }
 }

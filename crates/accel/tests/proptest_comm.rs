@@ -1,0 +1,81 @@
+//! Property-based tests for the collective cost model ([`accel_sim::comm`]).
+//!
+//! These formulas price every inter-node collective in the simulator —
+//! analytically on the legacy path, and as per-rank NIC demand in the
+//! cluster engine — so they must be sane over the whole input space, not
+//! just the calibrated points: non-negative (including the degenerate
+//! single-rank communicator), monotone in message size, and zero-cost for
+//! zero-byte messages only up to latency.
+
+use accel_sim::comm::{allreduce_seconds, broadcast_seconds, reduce_scatter_seconds};
+use accel_sim::NetCalib;
+use proptest::prelude::*;
+
+fn arb_net() -> impl Strategy<Value = NetCalib> {
+    // Bandwidths from ~100 Mb/s ethernet to ~400 Gb/s slingshot, latency
+    // from sub-microsecond fabric to ~1 ms WAN.
+    (1e7..1e11, 1e-7..1e-3).prop_map(|(bw, latency)| NetCalib { bw, latency })
+}
+
+fn arb_bytes() -> impl Strategy<Value = f64> {
+    0.0..1e12
+}
+
+proptest! {
+    /// All three collectives cost a non-negative, finite time for any
+    /// rank count from 1 up — including the ranks == 1 degenerate case,
+    /// which must be exactly free (no self-communication charge).
+    #[test]
+    fn collectives_are_non_negative(net in arb_net(), ranks in 1u32..=4096, bytes in arb_bytes()) {
+        for f in [allreduce_seconds, reduce_scatter_seconds, broadcast_seconds] {
+            let t = f(&net, ranks, bytes);
+            prop_assert!(t.is_finite() && t >= 0.0, "ranks={ranks} bytes={bytes} -> {t}");
+        }
+        prop_assert_eq!(allreduce_seconds(&net, 1, bytes), 0.0);
+        prop_assert_eq!(reduce_scatter_seconds(&net, 1, bytes), 0.0);
+        prop_assert_eq!(broadcast_seconds(&net, 1, bytes), 0.0);
+    }
+
+    /// More bytes never communicate faster (monotone non-decreasing in
+    /// message size, for every algorithm and rank count).
+    #[test]
+    fn collectives_are_monotone_in_bytes(
+        net in arb_net(),
+        ranks in 1u32..=4096,
+        a in arb_bytes(),
+        b in arb_bytes(),
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for f in [allreduce_seconds, reduce_scatter_seconds, broadcast_seconds] {
+            let tl = f(&net, ranks, lo);
+            let th = f(&net, ranks, hi);
+            prop_assert!(
+                tl <= th,
+                "ranks={ranks}: {lo} B -> {tl}s but {hi} B -> {th}s"
+            );
+        }
+    }
+
+    /// Zero-byte collectives cost latency only, and that cost still grows
+    /// with the communicator (more hops, more latency terms).
+    #[test]
+    fn zero_bytes_is_pure_latency(net in arb_net(), ranks in 2u32..=4096) {
+        let t = allreduce_seconds(&net, ranks, 0.0);
+        let expected = 2.0 * (ranks as f64 - 1.0) * net.latency;
+        prop_assert!((t - expected).abs() <= 1e-12 * expected.max(1.0));
+        prop_assert!(allreduce_seconds(&net, ranks + 1, 0.0) >= t);
+    }
+
+    /// An allreduce is a reduce-scatter followed by an allgather of the
+    /// same volume: it can never be cheaper than its reduce-scatter half.
+    #[test]
+    fn allreduce_dominates_reduce_scatter(
+        net in arb_net(),
+        ranks in 1u32..=4096,
+        bytes in arb_bytes(),
+    ) {
+        prop_assert!(
+            allreduce_seconds(&net, ranks, bytes) >= reduce_scatter_seconds(&net, ranks, bytes)
+        );
+    }
+}

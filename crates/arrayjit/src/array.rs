@@ -3,7 +3,7 @@
 //!
 //! Arrays are immutable (the JAX purity model): every operation produces a
 //! new array, and in-place updates are expressed functionally
-//! (`x.at[idx].set(v)` in JAX, [`crate::trace::Tracer::at_add`] here).
+//! (`x.at[idx].set(v)` in JAX, [`crate::trace::Tracer::scatter_add`] here).
 //! Buffer *donation* lets the JIT reuse an input allocation for an output,
 //! which is how the paper's port recycles output-parameter memory.
 

@@ -10,18 +10,36 @@
 //! * OpenMP Target Offload tracks JAX but consistently ~20% faster,
 //!   peaking ~2.9×, fits at 1 process, OOMs at 64.
 //!
-//! Usage: `fig4_process_scaling [--scale <f>] [--trace-out <path>]`
-//! (default scale 1e-3). With `--trace-out`, each configuration writes a
-//! Chrome-trace (`.json`) or JSONL (`.jsonl`) file named after it.
+//! Usage: `fig4_process_scaling [--scale <f>] [--trace-out <path>]
+//! [--nodes <n>] [--schedule <policy>]` (default scale 1e-3). With
+//! `--trace-out`, each configuration writes a Chrome-trace (`.json`) or
+//! JSONL (`.jsonl`) file named after it. With `--nodes`, every
+//! configuration is replayed as an `n`-node cluster through the
+//! discrete-event engine (collectives become simulated network events);
+//! `--schedule` picks the kernel arbitration policy
+//! (auto | mps | timeslice | fifo | priority).
 
-use repro_bench::report::{fmt_ratio, fmt_secs, scale_from_args, write_csv, Table};
+use repro_bench::report::{
+    fmt_ratio, fmt_secs, nodes_from_args, scale_from_args, schedule_from_args, write_csv, Table,
+};
 use repro_bench::{run_config, RunConfig};
 use toast_core::dispatch::ImplKind;
 use toast_satsim::Problem;
 
 fn main() {
     let scale = scale_from_args(1e-3);
-    println!("Figure 4 — runtime vs process count (medium, 1 node, scale {scale})\n");
+    let nodes = nodes_from_args();
+    let schedule = schedule_from_args();
+    match nodes {
+        Some(n) => println!(
+            "Figure 4 — runtime vs process count (medium, {n}-node cluster replay, \
+             schedule {schedule}, scale {scale})\n"
+        ),
+        None => println!(
+            "Figure 4 — runtime vs process count (medium, 1 node, schedule {schedule}, \
+             scale {scale})\n"
+        ),
+    }
 
     let mut table = Table::new(&[
         "procs",
@@ -33,11 +51,17 @@ fn main() {
         "omp_speedup",
     ]);
 
+    let configure = |problem: Problem, kind: ImplKind, procs: u32| {
+        let mut cfg = RunConfig::new(problem, kind, procs);
+        cfg.nodes = nodes;
+        cfg.schedule = schedule;
+        cfg
+    };
     for procs in [1u32, 2, 4, 8, 16, 32, 64] {
         let problem = Problem::medium(scale);
-        let cpu = run_config(&RunConfig::new(problem.clone(), ImplKind::Cpu, procs));
-        let jax = run_config(&RunConfig::new(problem.clone(), ImplKind::Jit, procs));
-        let omp = run_config(&RunConfig::new(problem, ImplKind::OmpTarget, procs));
+        let cpu = run_config(&configure(problem.clone(), ImplKind::Cpu, procs));
+        let jax = run_config(&configure(problem.clone(), ImplKind::Jit, procs));
+        let omp = run_config(&configure(problem, ImplKind::OmpTarget, procs));
         repro_bench::dump_trace_if_requested(&cpu, &format!("cpu{procs}"));
         repro_bench::dump_trace_if_requested(&jax, &format!("jax{procs}"));
         repro_bench::dump_trace_if_requested(&omp, &format!("omp{procs}"));

@@ -6,18 +6,37 @@
 //! *slower* than the baseline and is quoted in text because it would dwarf
 //! the plot.
 //!
-//! Usage: `fig5_full_benchmark [--scale <f>] [--trace-out <path>]`
-//! (default scale 1e-3). With `--trace-out`, each implementation writes a
-//! Chrome-trace (`.json`) or JSONL (`.jsonl`) file named after it.
+//! Usage: `fig5_full_benchmark [--scale <f>] [--trace-out <path>]
+//! [--nodes <n>] [--schedule <policy>]` (default scale 1e-3). With
+//! `--trace-out`, each implementation writes a Chrome-trace (`.json`) or
+//! JSONL (`.jsonl`) file named after it. By default the 8 nodes are
+//! priced with the analytic comm model; with `--nodes <n>`, `n` whole
+//! nodes are replayed through the discrete-event cluster engine and the
+//! MPI allreduces become simulated network events (NIC congestion
+//! included). `--schedule` picks the kernel arbitration policy
+//! (auto | mps | timeslice | fifo | priority).
 
-use repro_bench::report::{fmt_ratio, fmt_secs, scale_from_args, write_csv, Table};
+use repro_bench::report::{
+    fmt_ratio, fmt_secs, nodes_from_args, scale_from_args, schedule_from_args, write_csv, Table,
+};
 use repro_bench::{run_config, RunConfig};
 use toast_core::dispatch::ImplKind;
 use toast_satsim::Problem;
 
 fn main() {
     let scale = scale_from_args(1e-3);
-    println!("Figure 5 — full benchmark (large, 8 nodes x 16 procs x 4 threads, scale {scale})\n");
+    let nodes = nodes_from_args();
+    let schedule = schedule_from_args();
+    match nodes {
+        Some(n) => println!(
+            "Figure 5 — full benchmark (large, {n}-node cluster replay x 16 procs, \
+             schedule {schedule}, scale {scale})\n"
+        ),
+        None => println!(
+            "Figure 5 — full benchmark (large, 8 nodes x 16 procs x 4 threads, \
+             analytic comm, scale {scale})\n"
+        ),
+    }
 
     let procs = 16u32;
     let runs = [
@@ -29,7 +48,10 @@ fn main() {
 
     let mut results = Vec::new();
     for (label, slug, kind) in runs {
-        let out = run_config(&RunConfig::new(Problem::large(scale), kind, procs));
+        let mut cfg = RunConfig::new(Problem::large(scale), kind, procs);
+        cfg.nodes = nodes;
+        cfg.schedule = schedule;
+        let out = run_config(&cfg);
         repro_bench::dump_trace_if_requested(&out, slug);
         results.push((label, out));
     }

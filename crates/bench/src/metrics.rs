@@ -1,6 +1,6 @@
 //! Per-label metrics aggregated from the span traces of a run.
 //!
-//! [`summarize_events`] walks every rank's [`SpanEvent`] stream and
+//! [`summarize_events`] walks every rank's [`accel_sim::SpanEvent`] stream and
 //! reduces the timed spans into per-label counters and duration
 //! percentiles — the harness-side complement of the simulator's
 //! [`accel_sim::context::LabelStats`] totals, adding distribution shape

@@ -122,6 +122,35 @@ pub fn arg_value(flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parse `--nodes <n>` from argv: replay `n` whole nodes through the
+/// cluster engine (collectives become simulated network events). `None`
+/// (flag absent) keeps the legacy single-node replay with analytic comm
+/// pricing. A malformed value aborts rather than silently running the
+/// wrong experiment.
+pub fn nodes_from_args() -> Option<u32> {
+    let v = arg_value("--nodes")?;
+    match v.parse::<u32>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("error: --nodes expects a positive integer, got '{v}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--schedule <policy>` from argv
+/// (auto | mps | timeslice | fifo | priority); defaults to `auto`,
+/// which follows the MPS flag. A malformed value aborts.
+pub fn schedule_from_args() -> accel_sim::SchedulePolicyKind {
+    match arg_value("--schedule") {
+        None => accel_sim::SchedulePolicyKind::Auto,
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// A per-label metrics summary table (Observability section of the
 /// README): calls, total and p50/p95/max span durations, bytes.
 pub fn metrics_table(metrics: &std::collections::BTreeMap<String, crate::LabelSummary>) -> Table {

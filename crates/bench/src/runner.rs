@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use accel_sim::calib::NetCalib;
 use accel_sim::comm::allreduce_seconds;
 use accel_sim::context::LabelStats;
+use accel_sim::engine::{simulate_cluster_traced, ClusterResult, SchedulePolicyKind};
 use accel_sim::node::{simulate_node_traced, NodeConfig, NodeOom};
 use accel_sim::Context;
 use rayon::prelude::*;
@@ -28,6 +29,16 @@ pub struct RunConfig {
     /// Data-movement policy (Tracked is the paper's design; Naive is the
     /// 40%-ablation baseline).
     pub movement: MovementPolicy,
+    /// Replay this many whole nodes through the cluster engine, with the
+    /// inter-node collectives as simulated network events (congestion
+    /// emerges from NIC sharing). `None` keeps the legacy single-node
+    /// replay plus analytic comm pricing.
+    pub nodes: Option<u32>,
+    /// Kernel arbitration policy for the replay
+    /// ([`SchedulePolicyKind::Auto`] follows `mps`).
+    pub schedule: SchedulePolicyKind,
+    /// Overlap H2D/D2H transfers with host work on per-rank streams.
+    pub overlap_transfers: bool,
 }
 
 impl RunConfig {
@@ -46,6 +57,9 @@ impl RunConfig {
             procs_per_node,
             mps: true,
             movement: MovementPolicy::Tracked,
+            nodes: None,
+            schedule: SchedulePolicyKind::Auto,
+            overlap_transfers: false,
         };
         cfg.threads(); // validate eagerly
         cfg
@@ -94,8 +108,12 @@ pub struct RunOutcome {
     /// [`crate::traceout::write_trace`].
     pub traces: Vec<accel_sim::RankTrace>,
     /// The contention-resolved node timeline from the replay, when the
-    /// run fit on the device.
+    /// run fit on the device. In cluster mode this is the merged
+    /// multi-node timeline (global rank/GPU indices).
     pub timeline: Option<accel_sim::NodeTimeline>,
+    /// Cluster-wide accounting (NIC busy time, collective stretch and
+    /// barrier waits) when the run used [`RunConfig::nodes`].
+    pub cluster: Option<ClusterResult>,
 }
 
 impl RunOutcome {
@@ -105,13 +123,24 @@ impl RunOutcome {
     }
 }
 
-/// Run one configuration: simulate every rank of one node (ranks on other
-/// nodes are statistically identical and are priced through the comm
-/// model), replay against the shared GPUs, and add collective costs.
+/// Run one configuration: simulate every rank of one node, replay against
+/// the shared GPUs, and price collectives. With [`RunConfig::nodes`]
+/// unset, ranks on other nodes are statistically identical and collectives
+/// are priced analytically; with it set, every node is replayed through
+/// the cluster engine and collectives become simulated network events.
 pub fn run_config(cfg: &RunConfig) -> RunOutcome {
     let calib = cfg.problem.calib();
     let procs = cfg.procs_per_node;
     let fw = calib.framework;
+
+    // Collectives: the zmap is allreduced across every rank of the job
+    // once per observation, plus a final amplitude reduce. The analytic
+    // formula prices a solo allreduce; in cluster mode it becomes each
+    // rank's NIC demand instead of a closed-form addend.
+    let total_ranks = cfg.nodes.unwrap_or(cfg.problem.nodes) * procs;
+    let map_bytes = (cfg.problem.geometry().map_len() * 8) as f64;
+    let net = NetCalib::default();
+    let collective_solo = allreduce_seconds(&net, total_ranks, map_bytes) * cfg.problem.scale;
 
     // Ranks are independent simulated processes: run them in parallel on
     // the host (the simulation's virtual clocks are per-rank; sharing is
@@ -141,6 +170,12 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
             for _obs in 0..cfg.problem.n_obs {
                 pipe.run(&mut ctx, &mut exec, &mut ws)
                     .map_err(|e| format!("rank {rank}: {e}"))?;
+                if cfg.nodes.is_some() {
+                    ctx.collective("mpi_allreduce_zmap", map_bytes, collective_solo);
+                }
+            }
+            if cfg.nodes.is_some() {
+                ctx.collective("mpi_allreduce_amplitudes", map_bytes, collective_solo);
             }
             Ok(ctx)
         })
@@ -169,38 +204,45 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
         }
     }
 
-    // Collectives: the zmap is allreduced across every rank of the job
-    // once per observation, plus a final amplitude reduce.
-    let total_ranks = cfg.problem.nodes * procs;
-    let map_bytes = (cfg.problem.geometry().map_len() * 8) as f64;
-    let net = NetCalib::default();
-    // One zmap allreduce per observation plus a final amplitude reduce;
-    // scaled into simulated time like everything else.
-    let comm_seconds = (cfg.problem.n_obs as f64 + 1.0)
-        * allreduce_seconds(&net, total_ranks, map_bytes)
-        * cfg.problem.scale;
+    // Legacy path: one analytic zmap allreduce per observation plus a
+    // final amplitude reduce, scaled into simulated time like everything
+    // else. In cluster mode the collectives are *in* the replayed wall
+    // time, so nothing is added here.
+    let comm_seconds = if cfg.nodes.is_some() {
+        0.0
+    } else {
+        (cfg.problem.n_obs as f64 + 1.0) * collective_solo
+    };
 
-    let (node_wall, gpu_busy, timeline) = match rank_oom {
-        Some(e) => (Err(e), Vec::new(), None),
-        None => {
-            let node_cfg = NodeConfig {
-                calib,
-                gpus: 4,
-                mps: cfg.mps,
-            };
+    let oom_msg =
+        |NodeOom {
+             gpu,
+             demanded,
+             capacity,
+         }: NodeOom| { format!("GPU {gpu}: ranks demand {demanded} B of {capacity} B") };
+    let (node_wall, gpu_busy, timeline, cluster) = match (rank_oom, cfg.nodes) {
+        (Some(e), _) => (Err(e), Vec::new(), None, None),
+        (None, None) => {
+            let node_cfg = node_config(cfg, calib);
             match simulate_node_traced(&traces, &node_cfg) {
-                Ok((res, timeline)) => (Ok(res.wall_seconds), res.gpu_busy, Some(timeline)),
-                Err(NodeOom {
-                    gpu,
-                    demanded,
-                    capacity,
-                }) => (
-                    Err(format!(
-                        "GPU {gpu}: ranks demand {demanded} B of {capacity} B"
-                    )),
-                    Vec::new(),
-                    None,
+                Ok((res, timeline)) => (Ok(res.wall_seconds), res.gpu_busy, Some(timeline), None),
+                Err(oom) => (Err(oom_msg(oom)), Vec::new(), None, None),
+            }
+        }
+        (None, Some(n)) => {
+            // Every node runs a statistically identical set of ranks:
+            // replicate this node's traces across the cluster.
+            let node_traces: Vec<Vec<accel_sim::RankTrace>> =
+                (0..n.max(1)).map(|_| traces.clone()).collect();
+            let node_cfg = node_config(cfg, calib);
+            match simulate_cluster_traced(&node_traces, &node_cfg) {
+                Ok((res, timeline)) => (
+                    Ok(res.wall_seconds),
+                    res.gpu_busy.clone(),
+                    Some(timeline),
+                    Some(res),
                 ),
+                Err(oom) => (Err(oom_msg(oom)), Vec::new(), None, None),
             }
         }
     };
@@ -214,6 +256,17 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
         transfer_bytes,
         traces,
         timeline,
+        cluster,
+    }
+}
+
+fn node_config(cfg: &RunConfig, calib: accel_sim::NodeCalib) -> NodeConfig {
+    NodeConfig {
+        calib,
+        gpus: 4,
+        mps: cfg.mps,
+        schedule: cfg.schedule,
+        overlap_transfers: cfg.overlap_transfers,
     }
 }
 
@@ -316,6 +369,61 @@ mod tests {
             );
             assert_eq!(m.calls, stat.calls);
         }
+    }
+
+    #[test]
+    fn cluster_run_replays_collectives_as_network_events() {
+        let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+        let legacy = run_config(&cfg);
+        let legacy_wall = *legacy.node_wall.as_ref().expect("fits");
+        assert!(legacy.comm_seconds > 0.0);
+        assert!(legacy.cluster.is_none());
+
+        cfg.nodes = Some(2);
+        let out = run_config(&cfg);
+        let wall = *out.node_wall.as_ref().expect("fits");
+        // Collectives are inside the replayed wall now, not an addend.
+        assert_eq!(out.comm_seconds, 0.0);
+        assert!(wall > legacy_wall, "{wall} vs {legacy_wall}");
+        let cluster = out.cluster.as_ref().expect("cluster accounting");
+        assert_eq!(cluster.nodes, 2);
+        assert_eq!(cluster.nic_busy.len(), 2);
+        assert!(cluster.nic_busy[0] > 0.0);
+        assert_eq!(cluster.gpu_busy.len(), 8);
+        assert!(cluster.collective_seconds > 0.0);
+        // With 4 ranks sharing each NIC, congestion stretches the summed
+        // collective time well past the analytic solo pricing.
+        assert!(cluster.collective_seconds > legacy.comm_seconds);
+        assert!(out.per_label.contains_key("mpi_allreduce_zmap"));
+        assert!(out.per_label.contains_key("mpi_allreduce_amplitudes"));
+        // The multi-node timeline carries the collective phases.
+        let tl = out.timeline.as_ref().expect("timeline");
+        assert!(tl
+            .events
+            .iter()
+            .any(|e| e.kind == accel_sim::TimelineKind::Collective));
+    }
+
+    #[test]
+    fn overlap_and_schedule_flags_reach_the_replay() {
+        let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 8);
+        let sync_wall = run_config(&cfg).runtime().expect("fits");
+        cfg.overlap_transfers = true;
+        let overlap_wall = run_config(&cfg).runtime().expect("fits");
+        // Streams can only help (or tie): transfers hide behind host work.
+        assert!(
+            overlap_wall <= sync_wall + 1e-12,
+            "{overlap_wall} vs {sync_wall}"
+        );
+
+        cfg.overlap_transfers = false;
+        cfg.schedule = accel_sim::SchedulePolicyKind::Fifo;
+        let fifo_wall = run_config(&cfg).runtime().expect("fits");
+        assert!(fifo_wall > 0.0);
+        assert!(
+            (fifo_wall - sync_wall).abs() > 1e-12,
+            "fifo should change the schedule ({fifo_wall} vs {sync_wall})"
+        );
     }
 
     #[test]

@@ -203,7 +203,7 @@ fn json_num_field(line: &str, field: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-const TIMED_KINDS: [&str; 4] = ["host", "kernel", "transfer", "alloc"];
+const TIMED_KINDS: [&str; 5] = ["host", "kernel", "transfer", "alloc", "collective"];
 
 /// Parse a written trace back into summed per-label seconds over the
 /// timed virtual-rank spans — the round-trip check against

@@ -1,0 +1,211 @@
+//! Golden-path regression: the discrete-event engine must reproduce the
+//! pre-refactor analytic replay's makespans exactly (within 1e-9) for the
+//! seed configurations. The expected values below were recorded from the
+//! pre-engine `simulate_node` at commit 77615ce and are intentionally
+//! inlined rather than snapshotted: a change that moves them is a change
+//! to the simulator's physics and must be made deliberately.
+
+use accel_sim::{simulate_node, KernelProfile, NodeConfig, RankTrace, Segment, TransferDir};
+use repro_bench::{run_config, RunConfig};
+use toast_core::dispatch::ImplKind;
+use toast_satsim::Problem;
+
+fn host(seconds: f64) -> Segment {
+    Segment::Host {
+        seconds,
+        label: "h".into(),
+    }
+}
+
+fn kernel(items: f64, flops: f64, bytes: f64, dispatch: f64) -> Segment {
+    Segment::Kernel {
+        profile: KernelProfile::uniform("k", items, flops, bytes),
+        dispatch,
+    }
+}
+
+fn transfer(bytes: f64, dir: TransferDir) -> Segment {
+    Segment::Transfer {
+        bytes,
+        dir,
+        label: dir.label().into(),
+    }
+}
+
+fn trace(segments: Vec<Segment>) -> RankTrace {
+    RankTrace {
+        segments,
+        ..RankTrace::default()
+    }
+}
+
+/// A mixed workload: every rank interleaves host work, kernels of varying
+/// occupancy, and transfers; rank `r`'s durations are skewed by its index
+/// so the replay exercises asymmetric contention.
+fn mixed_traces(ranks: usize) -> Vec<RankTrace> {
+    (0..ranks)
+        .map(|r| {
+            let f = 1.0 + 0.25 * r as f64;
+            trace(vec![
+                host(0.01 * f),
+                transfer(1e8 * f, TransferDir::HostToDevice),
+                kernel(1e9, 40.0 * f, 8.0, 1e-5),
+                host(0.002 * f),
+                kernel(2e4, 100.0, 16.0, 1e-5),
+                transfer(5e7 * f, TransferDir::DeviceToHost),
+            ])
+        })
+        .collect()
+}
+
+fn tiny_problem() -> Problem {
+    let mut p = Problem::medium(2e-3);
+    p.total_samples *= 64.0 / p.n_det_total as f64;
+    p.n_det_total = 64;
+    p.n_obs = 2;
+    p
+}
+
+fn assert_close(actual: f64, expected: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < 1e-9,
+        "{what}: got {actual:.17e}, expected {expected:.17e} (|Δ| = {:.3e})",
+        (actual - expected).abs()
+    );
+}
+
+#[test]
+fn synthetic_node_makespans_match_pre_engine_values() {
+    let cases: [(&str, NodeConfig, usize, f64); 5] = [
+        (
+            "1 rank / 4 gpus / mps",
+            NodeConfig::default(),
+            1,
+            GOLDEN_SYN_1,
+        ),
+        (
+            "8 ranks / 4 gpus / mps",
+            NodeConfig::default(),
+            8,
+            GOLDEN_SYN_8,
+        ),
+        (
+            "8 ranks / 4 gpus / no mps",
+            NodeConfig {
+                mps: false,
+                ..NodeConfig::default()
+            },
+            8,
+            GOLDEN_SYN_8_NOMPS,
+        ),
+        (
+            "6 ranks / 1 gpu / mps",
+            NodeConfig {
+                gpus: 1,
+                ..NodeConfig::default()
+            },
+            6,
+            GOLDEN_SYN_6_1GPU,
+        ),
+        (
+            "4 ranks / 2 gpus / no mps",
+            NodeConfig {
+                gpus: 2,
+                mps: false,
+                ..NodeConfig::default()
+            },
+            4,
+            GOLDEN_SYN_4_2GPU_NOMPS,
+        ),
+    ];
+    for (what, cfg, ranks, expected) in cases {
+        let res = simulate_node(&mixed_traces(ranks), &cfg).unwrap();
+        assert_close(res.wall_seconds, expected, what);
+    }
+}
+
+#[test]
+fn pipeline_node_makespans_match_pre_engine_values() {
+    let cases: [(&str, ImplKind, u32, bool, f64); 4] = [
+        ("cpu x4", ImplKind::Cpu, 4, true, GOLDEN_PIPE_CPU4),
+        ("omp x16", ImplKind::OmpTarget, 16, true, GOLDEN_PIPE_OMP16),
+        ("jit x8", ImplKind::Jit, 8, true, GOLDEN_PIPE_JIT8),
+        (
+            "omp x8 no-mps",
+            ImplKind::OmpTarget,
+            8,
+            false,
+            GOLDEN_PIPE_OMP8_NOMPS,
+        ),
+    ];
+    for (what, kind, procs, mps, expected) in cases {
+        let mut cfg = RunConfig::new(tiny_problem(), kind, procs);
+        cfg.mps = mps;
+        let out = run_config(&cfg);
+        let wall = out.node_wall.as_ref().expect("fits").to_owned();
+        assert_close(wall, expected, what);
+    }
+}
+
+// Pre-refactor makespans, recorded from the analytic replay (see module
+// docs). Full f64 precision.
+const GOLDEN_SYN_1: f64 = 0.024483712977491967;
+const GOLDEN_SYN_8: f64 = 0.06656496234587464;
+const GOLDEN_SYN_8_NOMPS: f64 = 0.21694650199171286;
+const GOLDEN_SYN_6_1GPU: f64 = 0.17895561202214336;
+const GOLDEN_SYN_4_2GPU_NOMPS: f64 = 0.19070907931130046;
+const GOLDEN_PIPE_CPU4: f64 = 0.015180281788974554;
+const GOLDEN_PIPE_OMP16: f64 = 0.004323438244431148;
+const GOLDEN_PIPE_JIT8: f64 = 0.0072396279724240365;
+const GOLDEN_PIPE_OMP8_NOMPS: f64 = 0.00725656151065077;
+
+/// Temporary capture helper: prints the current values so they can be
+/// inlined above. Run with `cargo test -p repro-bench --test golden_replay
+/// -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn capture_golden_values() {
+    for (name, cfg, ranks) in [
+        ("GOLDEN_SYN_1", NodeConfig::default(), 1usize),
+        ("GOLDEN_SYN_8", NodeConfig::default(), 8),
+        (
+            "GOLDEN_SYN_8_NOMPS",
+            NodeConfig {
+                mps: false,
+                ..NodeConfig::default()
+            },
+            8,
+        ),
+        (
+            "GOLDEN_SYN_6_1GPU",
+            NodeConfig {
+                gpus: 1,
+                ..NodeConfig::default()
+            },
+            6,
+        ),
+        (
+            "GOLDEN_SYN_4_2GPU_NOMPS",
+            NodeConfig {
+                gpus: 2,
+                mps: false,
+                ..NodeConfig::default()
+            },
+            4,
+        ),
+    ] {
+        let res = simulate_node(&mixed_traces(ranks), &cfg).unwrap();
+        println!("const {name}: f64 = {:?};", res.wall_seconds);
+    }
+    for (name, kind, procs, mps) in [
+        ("GOLDEN_PIPE_CPU4", ImplKind::Cpu, 4u32, true),
+        ("GOLDEN_PIPE_OMP16", ImplKind::OmpTarget, 16, true),
+        ("GOLDEN_PIPE_JIT8", ImplKind::Jit, 8, true),
+        ("GOLDEN_PIPE_OMP8_NOMPS", ImplKind::OmpTarget, 8, false),
+    ] {
+        let mut cfg = RunConfig::new(tiny_problem(), kind, procs);
+        cfg.mps = mps;
+        let out = run_config(&cfg);
+        println!("const {name}: f64 = {:?};", out.node_wall.as_ref().unwrap());
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! A [`Pipeline`] is a sequence of operators: ported kernels plus
 //! [`OpKind::HostWork`] stand-ins for the serial Python layer and the
-//! "more than 30 kernels [that] have yet to be ported to GPU" which bound
+//! "more than 30 kernels \[that\] have yet to be ported to GPU" which bound
 //! the paper's overall speedup through Amdahl's law.
 //!
 //! Under [`MovementPolicy::Tracked`] the executor consults each operator's
@@ -27,6 +27,10 @@ pub enum PipelineError {
     Memory {
         kernel: String,
         buffer: BufferId,
+        /// The movement policy in force — Naive keeps less resident, so
+        /// the same problem can OOM under one policy and fit under the
+        /// other; the error names which one failed.
+        policy: MovementPolicy,
         source: accel_sim::MemoryError,
     },
     /// `kernel` was dispatched but `buffer` was not resident on the
@@ -40,8 +44,12 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Memory {
                 kernel,
                 buffer,
+                policy,
                 source,
-            } => write!(f, "staging {buffer:?} for {kernel}: {source}"),
+            } => write!(
+                f,
+                "staging {buffer:?} for {kernel} ({policy} movement): {source}"
+            ),
             PipelineError::NotResident { kernel, buffer } => {
                 write!(
                     f,
@@ -74,6 +82,17 @@ pub enum MovementPolicy {
     Tracked,
     /// Per-kernel in/out transfers (the ablation baseline).
     Naive,
+}
+
+impl std::fmt::Display for MovementPolicy {
+    /// Stable lowercase name; the vocabulary of trace phase labels
+    /// (`pipeline[tracked]`) and error messages.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MovementPolicy::Tracked => "tracked",
+            MovementPolicy::Naive => "naive",
+        })
+    }
 }
 
 /// A sequence of operators over one workspace.
@@ -141,10 +160,7 @@ impl Pipeline {
         // Scope every charge under a movement-policy phase; truncate on the
         // way out so `?`-propagation cannot leave dangling scopes.
         let depth = ctx.phase_depth();
-        ctx.push_phase(match self.policy {
-            MovementPolicy::Tracked => "pipeline[tracked]",
-            MovementPolicy::Naive => "pipeline[naive]",
-        });
+        ctx.push_phase(format!("pipeline[{}]", self.policy));
         let result = self.run_ops(ctx, exec, ws);
         ctx.truncate_phases(depth);
         result
@@ -208,6 +224,7 @@ impl Pipeline {
                     .map_err(|source| PipelineError::Memory {
                         kernel: format!("{kernel:?}"),
                         buffer: id,
+                        policy: self.policy,
                         source,
                     })?;
             }
@@ -443,6 +460,19 @@ mod tests {
         }
         let msg = err.to_string();
         assert!(msg.contains("PointingDetector"), "{msg}");
+        assert!(msg.contains("tracked movement"), "{msg}");
+    }
+
+    #[test]
+    fn movement_policy_displays_its_phase_vocabulary() {
+        assert_eq!(MovementPolicy::Tracked.to_string(), "tracked");
+        assert_eq!(MovementPolicy::Naive.to_string(), "naive");
+        // The phase label is derived from Display, so the vocabulary the
+        // trace viewers key on must not drift.
+        assert_eq!(
+            format!("pipeline[{}]", MovementPolicy::Naive),
+            "pipeline[naive]"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! lines and `/* ... */` block comments are excluded; everything else
 //! counts.
 //!
-//! [`classify`] maps this repository's kernel files to the paper's three
+//! [`kernel_loc_table`] maps this repository's kernel files to the paper's three
 //! implementations (the `cpu.rs` / `omp.rs` / `jit.rs` layout of
 //! `toast-core/src/kernels/` exists precisely so these figures can be
 //! regenerated from the source tree).

@@ -74,7 +74,7 @@ pub struct Problem {
     /// Kernel passes over each observation's resident data (the map-making
     /// solver iterates the template/scan/accumulate kernels several times
     /// per observation), which is why the paper's Fig. 6 shows data
-    /// movement "barely register[ing]" next to kernel time.
+    /// movement "barely register\[ing\]" next to kernel time.
     pub passes: usize,
 }
 
