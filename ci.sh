@@ -22,4 +22,17 @@ cargo test --workspace -q
 echo "== fig5 cluster smoke (--nodes 2)"
 cargo run --release -p repro-bench --bin fig5_full_benchmark -- --nodes 2 >/dev/null
 
+echo "== whatif record->replay differential smoke"
+# The identity replay must reproduce the recorded makespan bit for bit
+# (the repricer's differential oracle); an H100-like preset must complete
+# from the recorded charges alone.
+workload="target/ci_whatif_workload.jsonl"
+cargo run --release -p repro-bench --bin whatif -- \
+  --record "$workload" --size medium --impl omp --procs 8 --nodes 2 >/dev/null
+cargo run --release -p repro-bench --bin whatif -- --replay "$workload" \
+  | grep "identity check: .* delta 0.000000000" >/dev/null
+cargo run --release -p repro-bench --bin whatif -- --replay "$workload" --calib h100 \
+  | grep "^makespan: " >/dev/null
+rm -f "$workload"
+
 echo "CI OK"

@@ -67,6 +67,39 @@ impl Default for DeviceCalib {
     }
 }
 
+impl DeviceCalib {
+    /// The paper's device: A100 40 GB over PCIe gen4 (the default).
+    pub fn a100() -> Self {
+        Self::default()
+    }
+
+    /// An H100-SXM-like device for what-if repricing: 33.5 TF FP64
+    /// (non-tensor-core), 3.35 TB/s HBM3 at the same ~80% achieved
+    /// fraction, 80 GB, 132 SMs, PCIe gen5 ×16 (~50 GB/s). Launch,
+    /// context-switch and allocation latencies are driver-side costs and
+    /// carry over from the A100 calibration.
+    pub fn h100() -> Self {
+        Self {
+            fp64_peak: 3.35e13,
+            hbm_bw: 0.8 * 3.35e12,
+            mem_bytes: 80 * (1 << 30) as u64,
+            saturation_items: 132.0 * 2048.0,
+            pcie_bw: 5e10,
+            ..Self::default()
+        }
+    }
+
+    /// Swap the PCIe host link for an NVLink-like one (NVLink2
+    /// host↔device as on Power9+V100 systems: ~75 GB/s per direction,
+    /// roughly half the DMA setup latency). Everything else unchanged —
+    /// the what-if isolates the interconnect.
+    pub fn with_nvlink_host_link(mut self) -> Self {
+        self.pcie_bw = 7.5e10;
+        self.pcie_latency = 5e-6;
+        self
+    }
+}
+
 /// Cost model of the host CPU (64-core AMD Milan-like).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuCalib {
@@ -174,8 +207,16 @@ impl NodeCalib {
     /// runtimes are exactly `work_scale ×` the paper-scale runtimes and
     /// every reported *ratio* is scale-invariant. See DESIGN.md § 7.
     pub fn scaled(work_scale: f64) -> Self {
+        Self::default().rescaled(work_scale)
+    }
+
+    /// Apply the [`NodeCalib::scaled`] transformation to *this*
+    /// calibration instead of the default one — what-if presets are
+    /// defined at paper scale and rescaled to match the recorded run's
+    /// `work_scale` so repriced and original runs stay comparable.
+    pub fn rescaled(mut self, work_scale: f64) -> Self {
         assert!(work_scale > 0.0 && work_scale <= 1.0);
-        let mut c = Self::default();
+        let c = &mut self;
         c.gpu.launch_latency *= work_scale;
         c.gpu.pcie_latency *= work_scale;
         c.gpu.context_switch *= work_scale;
@@ -188,7 +229,7 @@ impl NodeCalib {
         c.framework.omp_region *= work_scale;
         c.framework.jit_process_device_bytes *= work_scale;
         c.framework.omp_process_device_bytes *= work_scale;
-        c
+        self
     }
 }
 
@@ -210,6 +251,23 @@ impl Default for NetCalib {
     }
 }
 
+impl NetCalib {
+    /// Perlmutter's interconnect at measurement time: Slingshot-10
+    /// (~12.5 GB/s per NIC). The default.
+    pub fn slingshot10() -> Self {
+        Self::default()
+    }
+
+    /// Slingshot-11 (200 Gb/s NICs, ~25 GB/s) — the upgrade Perlmutter
+    /// later received, doubling injection bandwidth at the same latency.
+    pub fn slingshot11() -> Self {
+        Self {
+            bw: 2.5e10,
+            ..Self::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +282,38 @@ mod tests {
         // Node-level GPU FP64 peak should dwarf the CPU's: the premise of
         // the whole porting exercise.
         assert!(4.0 * d.fp64_peak > 10.0 * c.cores as f64 * c.core_flops);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_generation() {
+        let a100 = DeviceCalib::a100();
+        let h100 = DeviceCalib::h100();
+        assert!(h100.fp64_peak > 3.0 * a100.fp64_peak);
+        assert!(h100.hbm_bw > 2.0 * a100.hbm_bw);
+        assert!(h100.mem_bytes == 2 * a100.mem_bytes);
+        assert!(h100.pcie_bw == 2.0 * a100.pcie_bw);
+        let nvl = DeviceCalib::a100().with_nvlink_host_link();
+        assert!(nvl.pcie_bw > a100.pcie_bw);
+        assert!(nvl.pcie_latency < a100.pcie_latency);
+        // Only the link changed.
+        assert_eq!(nvl.fp64_peak, a100.fp64_peak);
+        assert!(NetCalib::slingshot11().bw == 2.0 * NetCalib::slingshot10().bw);
+    }
+
+    #[test]
+    fn rescaled_applies_to_any_base() {
+        // The default-based path is unchanged.
+        let scaled = NodeCalib::scaled(1e-3);
+        let rescaled = NodeCalib::default().rescaled(1e-3);
+        assert_eq!(scaled, rescaled);
+        // A preset rescales its own values, not the default's.
+        let h = NodeCalib {
+            gpu: DeviceCalib::h100(),
+            ..NodeCalib::default()
+        };
+        let hs = h.rescaled(1e-3);
+        assert_eq!(hs.gpu.mem_bytes, (80u64 << 30) / 1000);
+        assert_eq!(hs.gpu.fp64_peak, DeviceCalib::h100().fp64_peak);
     }
 
     #[test]

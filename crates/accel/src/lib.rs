@@ -30,6 +30,11 @@
 //! Calibration constants live in [`calib`] and are documented against
 //! public A100/Milan specifications; see `DESIGN.md` § 5 for the honesty
 //! policy on constants tuned to the paper's measurements.
+//!
+//! Because traces are pure work descriptors, a run can be **recorded** and
+//! later re-priced under a different calibration without re-running any
+//! numerics: [`whatif`] serializes the charges as JSONL and replays them
+//! through the engine under H100-like, NVLink-like or faster-NIC presets.
 
 pub mod calib;
 pub mod comm;
@@ -38,6 +43,7 @@ pub mod engine;
 pub mod node;
 pub mod profile;
 pub mod trace;
+pub mod whatif;
 
 pub use calib::{CpuCalib, DeviceCalib, NetCalib, NodeCalib};
 pub use context::{Context, MemoryError};
@@ -50,3 +56,4 @@ pub use node::{
 };
 pub use profile::KernelProfile;
 pub use trace::{RankTrace, Segment, SpanEvent, SpanKind, TransferDir};
+pub use whatif::{RecordMeta, RecordedWorkload, Replayed, WhatifCalib, WhatifError};

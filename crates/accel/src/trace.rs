@@ -146,7 +146,7 @@ pub struct SpanEvent {
 }
 
 /// A whole rank's recorded timeline plus its peak device-memory footprint.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankTrace {
     /// Ordered segments.
     pub segments: Vec<Segment>,

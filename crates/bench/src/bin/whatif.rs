@@ -1,0 +1,218 @@
+//! What-if repricing: record a benchmark run's charges, then replay them
+//! under a different hardware calibration without re-running any kernel
+//! numerics.
+//!
+//! Record (runs the benchmark once, writes the workload JSONL):
+//!
+//! ```text
+//! whatif --record <path> [--size medium|large] [--impl cpu|jax|omp|jaxcpu]
+//!        [--procs <n>] [--scale <f>] [--nodes <n>] [--schedule <policy>]
+//!        [--no-mps]
+//! ```
+//!
+//! Replay (no benchmark run — only the recorded charges are re-priced):
+//!
+//! ```text
+//! whatif --replay <path> [--calib <preset>] [--gpus <n>]
+//! ```
+//!
+//! `--calib identity` (the default) replays under the recorded
+//! calibration; the resulting makespan must reproduce the live run's
+//! exactly — the differential oracle, printed as a `delta 0.000000000`
+//! line that `ci.sh` greps. Named presets (`a100`, `h100`, `a100-nvlink`,
+//! `h100-nvlink`, `slingshot11`) answer the paper-motivated questions:
+//! would JAX still trail OpenMP on H100-class FP64, or with NVLink
+//! instead of PCIe? The report shows per-kernel original-vs-repriced
+//! deltas and the makespan shift.
+
+use std::path::Path;
+use std::process::exit;
+
+use repro_bench::report::{
+    arg_value, fmt_ratio, nodes_from_args, scale_from_args, schedule_from_args, Table,
+};
+use repro_bench::{recorded_workload, run_config, RunConfig};
+use toast_core::dispatch::ImplKind;
+use toast_satsim::Problem;
+
+use accel_sim::whatif::{preset, presets, RecordedWorkload, Replayed};
+use accel_sim::{NetCalib, NodeCalib};
+
+fn main() {
+    match (arg_value("--record"), arg_value("--replay")) {
+        (Some(path), None) => record(&path),
+        (None, Some(path)) => replay(&path),
+        _ => {
+            eprintln!("usage: whatif --record <path> | --replay <path> [--calib <preset>]");
+            eprintln!("presets:");
+            eprintln!("  identity — the recorded calibration (differential oracle)");
+            for p in presets() {
+                eprintln!("  {} — {}", p.name, p.about);
+            }
+            exit(2);
+        }
+    }
+}
+
+fn record(path: &str) {
+    let size = arg_value("--size").unwrap_or_else(|| "medium".into());
+    let scale = scale_from_args(1e-3);
+    let problem = match size.as_str() {
+        "medium" => Problem::medium(scale),
+        "large" => Problem::large(scale),
+        other => {
+            eprintln!("error: --size expects medium|large, got '{other}'");
+            exit(2);
+        }
+    };
+    let impl_name = arg_value("--impl").unwrap_or_else(|| "omp".into());
+    let kind = match impl_name.as_str() {
+        "cpu" => ImplKind::Cpu,
+        "jax" => ImplKind::Jit,
+        "omp" => ImplKind::OmpTarget,
+        "jaxcpu" => ImplKind::JitCpu,
+        other => {
+            eprintln!("error: --impl expects cpu|jax|omp|jaxcpu, got '{other}'");
+            exit(2);
+        }
+    };
+    let procs: u32 = match arg_value("--procs").map(|v| v.parse()) {
+        None => 16,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: --procs expects an integer");
+            exit(2);
+        }
+    };
+
+    let mut cfg = RunConfig::new(problem, kind, procs);
+    cfg.nodes = nodes_from_args();
+    cfg.schedule = schedule_from_args();
+    cfg.mps = !std::env::args().any(|a| a == "--no-mps");
+    let label = format!(
+        "{size} {impl_name} x{procs} scale {scale} nodes {} schedule {} mps {}",
+        cfg.nodes.map_or("-".into(), |n| n.to_string()),
+        cfg.schedule,
+        cfg.mps,
+    );
+
+    println!("recording: {label}");
+    let out = run_config(&cfg);
+    let workload = recorded_workload(&cfg, &out, &label).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    if let Err(e) = workload.write(Path::new(path)) {
+        eprintln!("error: cannot write {path}: {e}");
+        exit(1);
+    }
+    let segments: usize = workload
+        .nodes
+        .iter()
+        .flatten()
+        .map(|t| t.segments.len())
+        .sum();
+    println!(
+        "wrote {path}: {} node(s) x {} rank(s), {segments} segments, live makespan {:?} s",
+        workload.nodes.len(),
+        workload.nodes.first().map_or(0, |n| n.len()),
+        workload.meta.live_wall_seconds,
+    );
+}
+
+fn replay(path: &str) {
+    let workload = RecordedWorkload::read(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    let gpus: Option<u32> = arg_value("--gpus").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --gpus expects a positive integer, got '{v}'");
+            exit(2);
+        })
+    });
+    let calib_name = arg_value("--calib").unwrap_or_else(|| "identity".into());
+    println!(
+        "replaying {path} [{}] under calib '{calib_name}'",
+        workload.meta.label
+    );
+
+    // The differential oracle always runs: under the recorded calibration
+    // the engine must reproduce the live makespan bit for bit.
+    let identity = run_replay(
+        &workload,
+        &workload.meta.node_calib,
+        &workload.meta.net_calib,
+        None,
+    );
+    println!(
+        "identity check: recorded makespan {:?} s, replayed {:?} s, delta {:.9}",
+        workload.meta.live_wall_seconds,
+        identity.cluster.wall_seconds,
+        identity.cluster.wall_seconds - workload.meta.live_wall_seconds,
+    );
+
+    let (node, net) = if calib_name == "identity" {
+        (workload.meta.node_calib, workload.meta.net_calib)
+    } else {
+        let Some(p) = preset(&calib_name) else {
+            eprintln!("error: unknown calib preset '{calib_name}'; known presets:");
+            eprintln!("  identity");
+            for p in presets() {
+                eprintln!("  {} — {}", p.name, p.about);
+            }
+            exit(2);
+        };
+        // Presets are defined at paper scale; the recording ran with its
+        // latencies and capacities scaled alongside the data.
+        (p.node.rescaled(workload.meta.work_scale), p.net)
+    };
+    let repriced = run_replay(&workload, &node, &net, gpus);
+
+    let live_stats = workload.live_label_stats();
+    let mut table = Table::new(&["label", "calls", "orig_s", "new_s", "delta_s", "ratio"]);
+    for (label, new) in &repriced.per_label {
+        let orig = live_stats.get(label).copied().unwrap_or_default();
+        table.row(vec![
+            label.clone(),
+            new.calls.to_string(),
+            format!("{:.6}", orig.seconds),
+            format!("{:.6}", new.seconds),
+            format!("{:+.6}", new.seconds - orig.seconds),
+            if orig.seconds > 0.0 {
+                fmt_ratio(orig.seconds / new.seconds)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("\nper-label solo estimates — original vs '{calib_name}'");
+    println!("{}", table.render());
+
+    let orig_wall = identity.cluster.wall_seconds;
+    let new_wall = repriced.cluster.wall_seconds;
+    println!(
+        "makespan: original {orig_wall:?} s, repriced {new_wall:?} s, delta {:.9}",
+        new_wall - orig_wall
+    );
+    if (new_wall - orig_wall).abs() > f64::EPSILON * orig_wall {
+        let shift = if new_wall < orig_wall {
+            format!("{} faster", fmt_ratio(orig_wall / new_wall))
+        } else {
+            format!("{} slower", fmt_ratio(new_wall / orig_wall))
+        };
+        println!("under '{calib_name}' this configuration finishes {shift}");
+    }
+}
+
+fn run_replay(
+    workload: &RecordedWorkload,
+    node: &NodeCalib,
+    net: &NetCalib,
+    gpus: Option<u32>,
+) -> Replayed {
+    workload.replay(node, net, gpus).unwrap_or_else(|oom| {
+        eprintln!("replay does not fit: {oom}");
+        exit(1);
+    })
+}

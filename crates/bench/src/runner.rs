@@ -7,6 +7,7 @@ use accel_sim::comm::allreduce_seconds;
 use accel_sim::context::LabelStats;
 use accel_sim::engine::{simulate_cluster_traced, ClusterResult, SchedulePolicyKind};
 use accel_sim::node::{simulate_node_traced, NodeConfig, NodeOom};
+use accel_sim::whatif::{RecordMeta, RecordedWorkload};
 use accel_sim::Context;
 use rayon::prelude::*;
 use toast_core::dispatch::ImplKind;
@@ -258,6 +259,41 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
         timeline,
         cluster,
     }
+}
+
+/// Capture a [`RecordedWorkload`] from a finished run, for what-if
+/// repricing (`whatif --record`). The recording holds one node's traces
+/// replicated across [`RunConfig::nodes`] (the runner's own cluster
+/// convention: every node runs a statistically identical set of ranks), so
+/// an identity-calibration replay reproduces `out.node_wall` exactly.
+/// Fails when the run itself did not fit on the device — there is no wall
+/// time to reprice.
+pub fn recorded_workload(
+    cfg: &RunConfig,
+    out: &RunOutcome,
+    label: &str,
+) -> Result<RecordedWorkload, String> {
+    let live_wall = *out
+        .node_wall
+        .as_ref()
+        .map_err(|e| format!("cannot record an out-of-memory run ({e})"))?;
+    let nodes = cfg.nodes.unwrap_or(1).max(1);
+    let node_traces: Vec<Vec<accel_sim::RankTrace>> =
+        (0..nodes).map(|_| out.traces.clone()).collect();
+    let meta = RecordMeta {
+        version: 1,
+        label: label.to_string(),
+        gpus: 4,
+        mps: cfg.mps,
+        schedule: cfg.schedule,
+        overlap_transfers: cfg.overlap_transfers,
+        total_ranks: cfg.nodes.unwrap_or(cfg.problem.nodes) * cfg.procs_per_node,
+        work_scale: cfg.problem.scale,
+        live_wall_seconds: live_wall,
+        node_calib: cfg.problem.calib(),
+        net_calib: NetCalib::default(),
+    };
+    Ok(RecordedWorkload::capture(node_traces, meta))
 }
 
 fn node_config(cfg: &RunConfig, calib: accel_sim::NodeCalib) -> NodeConfig {

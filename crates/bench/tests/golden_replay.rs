@@ -5,7 +5,9 @@
 //! inlined rather than snapshotted: a change that moves them is a change
 //! to the simulator's physics and must be made deliberately.
 
-use accel_sim::{simulate_node, KernelProfile, NodeConfig, RankTrace, Segment, TransferDir};
+use accel_sim::{
+    simulate_node, KernelProfile, NodeConfig, RankTrace, SchedulePolicyKind, Segment, TransferDir,
+};
 use repro_bench::{run_config, RunConfig};
 use toast_core::dispatch::ImplKind;
 use toast_satsim::Problem;
@@ -147,6 +149,40 @@ fn pipeline_node_makespans_match_pre_engine_values() {
     }
 }
 
+/// The 2-node cluster configurations locked below: OmpTarget, 4 procs,
+/// one schedule policy each (PR 2's goldens covered single-node paths
+/// only).
+fn cluster_cases() -> [(&'static str, SchedulePolicyKind); 3] {
+    [
+        ("GOLDEN_CLUSTER_AUTO", SchedulePolicyKind::Auto),
+        ("GOLDEN_CLUSTER_FIFO", SchedulePolicyKind::Fifo),
+        ("GOLDEN_CLUSTER_PRIORITY", SchedulePolicyKind::Priority),
+    ]
+}
+
+fn cluster_wall(schedule: SchedulePolicyKind) -> f64 {
+    // 8 procs on 4 GPUs: two ranks per device, so the arbitration policy
+    // actually shapes the makespan (at one rank per GPU all policies
+    // coincide).
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 8);
+    cfg.nodes = Some(2);
+    cfg.schedule = schedule;
+    let out = run_config(&cfg);
+    *out.node_wall.as_ref().expect("fits")
+}
+
+#[test]
+fn cluster_makespans_match_locked_values() {
+    let expected = [
+        GOLDEN_CLUSTER_AUTO,
+        GOLDEN_CLUSTER_FIFO,
+        GOLDEN_CLUSTER_PRIORITY,
+    ];
+    for ((what, schedule), want) in cluster_cases().into_iter().zip(expected) {
+        assert_close(cluster_wall(schedule), want, what);
+    }
+}
+
 // Pre-refactor makespans, recorded from the analytic replay (see module
 // docs). Full f64 precision.
 const GOLDEN_SYN_1: f64 = 0.024483712977491967;
@@ -158,6 +194,11 @@ const GOLDEN_PIPE_CPU4: f64 = 0.015180281788974554;
 const GOLDEN_PIPE_OMP16: f64 = 0.004323438244431148;
 const GOLDEN_PIPE_JIT8: f64 = 0.0072396279724240365;
 const GOLDEN_PIPE_OMP8_NOMPS: f64 = 0.00725656151065077;
+// 2-node cluster makespans, recorded from the discrete-event cluster
+// engine at the commit introducing the what-if repricer.
+const GOLDEN_CLUSTER_AUTO: f64 = 0.005050661876582861;
+const GOLDEN_CLUSTER_FIFO: f64 = 0.004817435966790251;
+const GOLDEN_CLUSTER_PRIORITY: f64 = 0.0048042810883336595;
 
 /// Temporary capture helper: prints the current values so they can be
 /// inlined above. Run with `cargo test -p repro-bench --test golden_replay
@@ -207,5 +248,8 @@ fn capture_golden_values() {
         cfg.mps = mps;
         let out = run_config(&cfg);
         println!("const {name}: f64 = {:?};", out.node_wall.as_ref().unwrap());
+    }
+    for (name, schedule) in cluster_cases() {
+        println!("const {name}: f64 = {:?};", cluster_wall(schedule));
     }
 }

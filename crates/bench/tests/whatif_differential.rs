@@ -1,0 +1,128 @@
+//! The what-if repricer's differential oracle: a run recorded and then
+//! replayed under the *identical* calibration must reproduce the live run
+//! exactly — same makespan, same per-rank charges — because repricing
+//! under identity rescales every baked-in cost by exactly 1.0 and the
+//! discrete-event engine is deterministic. The recording goes through the
+//! full serialization path (capture → JSONL → parse → replay), so any
+//! precision loss or dropped charge anywhere in the chain breaks the
+//! equality. Checked for the legacy single-node replay and the 2-node
+//! cluster replay, across every schedule policy.
+
+use accel_sim::whatif::RecordedWorkload;
+use accel_sim::SchedulePolicyKind;
+use repro_bench::{recorded_workload, run_config, RunConfig};
+use toast_core::dispatch::ImplKind;
+use toast_satsim::Problem;
+
+fn tiny_problem() -> Problem {
+    let mut p = Problem::medium(2e-3);
+    p.total_samples *= 64.0 / p.n_det_total as f64;
+    p.n_det_total = 64;
+    p.n_obs = 2;
+    p
+}
+
+const POLICIES: [SchedulePolicyKind; 5] = [
+    SchedulePolicyKind::Auto,
+    SchedulePolicyKind::MpsFluid,
+    SchedulePolicyKind::TimeSliced,
+    SchedulePolicyKind::Fifo,
+    SchedulePolicyKind::Priority,
+];
+
+/// Record a run, push it through JSONL and back, replay under identity,
+/// and assert the replay reproduces the live run to 1e-9.
+fn assert_identity_replay(nodes: Option<u32>, schedule: SchedulePolicyKind) {
+    let what = format!("nodes {nodes:?} schedule {schedule}");
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+    cfg.nodes = nodes;
+    cfg.schedule = schedule;
+    let out = run_config(&cfg);
+    let live_wall = *out.node_wall.as_ref().expect("run fits");
+
+    let recorded = recorded_workload(&cfg, &out, &what).expect("recordable");
+    let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
+    assert_eq!(parsed.meta.live_wall_seconds, live_wall, "{what}");
+    assert_eq!(parsed.nodes.len(), nodes.unwrap_or(1) as usize, "{what}");
+
+    let replayed = parsed.replay_identity().expect("replay fits");
+    let delta = (replayed.cluster.wall_seconds - live_wall).abs();
+    assert!(
+        delta < 1e-9,
+        "{what}: replayed {:.17e} vs live {live_wall:.17e} (|Δ| = {delta:.3e})",
+        replayed.cluster.wall_seconds
+    );
+
+    // Per-rank charges survive the round trip: host seconds, kernel
+    // counts and transfer bytes of every recorded rank match the live
+    // trace they were captured from.
+    for node_traces in &parsed.nodes {
+        assert_eq!(node_traces.len(), out.traces.len(), "{what}");
+        for (rank, (rec, live)) in node_traces.iter().zip(&out.traces).enumerate() {
+            let who = format!("{what} rank {rank}");
+            assert!(
+                (rec.host_seconds() - live.host_seconds()).abs() < 1e-9,
+                "{who}: host {} vs {}",
+                rec.host_seconds(),
+                live.host_seconds()
+            );
+            assert_eq!(rec.kernel_count(), live.kernel_count(), "{who}");
+            assert!(
+                (rec.transfer_bytes() - live.transfer_bytes()).abs() < 1e-9,
+                "{who}: bytes {} vs {}",
+                rec.transfer_bytes(),
+                live.transfer_bytes()
+            );
+        }
+    }
+}
+
+#[test]
+fn identity_replay_reproduces_single_node_runs() {
+    for policy in POLICIES {
+        assert_identity_replay(None, policy);
+    }
+}
+
+#[test]
+fn identity_replay_reproduces_two_node_cluster_runs() {
+    for policy in POLICIES {
+        assert_identity_replay(Some(2), policy);
+    }
+}
+
+#[test]
+fn non_identity_preset_changes_only_hardware_priced_charges() {
+    // The acceptance check for the repricer itself: an H100-like preset
+    // replays the *recorded* charges (no kernel numerics re-run — the
+    // workload is parsed from JSONL, nothing else is available to it)
+    // and speeds up device kernels without touching host-bound labels.
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+    cfg.nodes = Some(2);
+    let out = run_config(&cfg);
+    let recorded = recorded_workload(&cfg, &out, "h100 probe").expect("recordable");
+    let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
+
+    let p = accel_sim::whatif::preset("h100").expect("preset");
+    let node = p.node.rescaled(parsed.meta.work_scale);
+    let repriced = parsed.replay(&node, &p.net, None).expect("fits");
+    let live = parsed.live_label_stats();
+
+    // Device kernels get faster, host labels keep their cost (same CPU).
+    let faster = repriced.per_label["scan_map"].seconds;
+    assert!(
+        faster < live["scan_map"].seconds,
+        "scan_map {faster} vs {}",
+        live["scan_map"].seconds
+    );
+    let host = "unported_operators";
+    assert!(
+        (repriced.per_label[host].seconds - live[host].seconds).abs() < 1e-12,
+        "host label moved"
+    );
+    // Transfers speed up with the PCIe gen5 link, but the bytes moved are
+    // the recorded ones.
+    let h2d = "accel_data_update_device";
+    assert!(repriced.per_label[h2d].seconds < live[h2d].seconds);
+    assert_eq!(repriced.per_label[h2d].bytes, live[h2d].bytes);
+}
