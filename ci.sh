@@ -22,6 +22,25 @@ cargo test --workspace -q
 echo "== fig5 cluster smoke (--nodes 2)"
 cargo run --release -p repro-bench --bin fig5_full_benchmark -- --nodes 2 >/dev/null
 
+echo "== engine-throughput bench (smoke mode)"
+# Validates the bench harness end to end and the shape of the JSON it
+# emits; the numbers themselves are not gated here (machine-dependent).
+# Absolute path: the bench binary's cwd is the package dir, not the root.
+bench_json="$PWD/target/ci_bench_engine.json"
+BENCH_ENGINE_SMOKE=1 BENCH_ENGINE_OUT="$bench_json" \
+  cargo bench -q -p repro-bench --bench engine >/dev/null
+jq -e '
+  .mode == "smoke"
+  and (.results | length == 6)
+  and (.results | all(.events_per_sec > 0 and .iters > 0))
+  and ([.results[].nodes] | unique == [1, 8, 64])
+' "$bench_json" >/dev/null || {
+  echo "BENCH_engine.json malformed:" >&2
+  cat "$bench_json" >&2
+  exit 1
+}
+rm -f "$bench_json"
+
 echo "== whatif record->replay differential smoke"
 # The identity replay must reproduce the recorded makespan bit for bit
 # (the repricer's differential oracle); an H100-like preset must complete

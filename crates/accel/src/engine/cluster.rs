@@ -12,8 +12,9 @@
 //! congestion *emerges* from link occupancy instead of being a formula's
 //! assumption.
 
+use crate::engine::error::EngineError;
 use crate::engine::sim::{simulate, SimOutput};
-use crate::node::{NodeConfig, NodeOom, NodeTimeline};
+use crate::node::{NodeConfig, NodeTimeline};
 use crate::trace::{RankTrace, Segment};
 
 /// What a whole-cluster replay produced.
@@ -59,12 +60,13 @@ impl ClusterResult {
 ///
 /// Collective segments in the traces synchronise across *all* ranks of
 /// all nodes; everything else contends only for its own node's GPUs,
-/// PCIe links and NIC. Returns [`NodeOom`] (with a global GPU index) if
-/// any GPU's co-located peak footprints exceed its memory.
+/// PCIe links and NIC. Returns a typed [`EngineError`] — an OOM (with a
+/// global GPU index) if any GPU's co-located peak footprints exceed its
+/// memory, a `NonFiniteCharge` if a recorded duration is NaN/infinite.
 pub fn simulate_cluster(
     node_traces: &[Vec<RankTrace>],
     cfg: &NodeConfig,
-) -> Result<ClusterResult, NodeOom> {
+) -> Result<ClusterResult, EngineError> {
     let slices: Vec<&[RankTrace]> = node_traces.iter().map(|v| v.as_slice()).collect();
     let out = simulate(&slices, cfg, false)?;
     Ok(ClusterResult::from_output(out, node_traces.len()))
@@ -75,7 +77,7 @@ pub fn simulate_cluster(
 pub fn simulate_cluster_traced(
     node_traces: &[Vec<RankTrace>],
     cfg: &NodeConfig,
-) -> Result<(ClusterResult, NodeTimeline), NodeOom> {
+) -> Result<(ClusterResult, NodeTimeline), EngineError> {
     let slices: Vec<&[RankTrace]> = node_traces.iter().map(|v| v.as_slice()).collect();
     let mut out = simulate(&slices, cfg, true)?;
     let timeline = std::mem::take(&mut out.timeline);

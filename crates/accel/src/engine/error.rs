@@ -1,0 +1,134 @@
+//! Typed replay failures, following the `ResidencyError` convention from
+//! the memory subsystem: every failure mode the engine can hit is a
+//! variant with enough context to name the culprit, instead of a panic
+//! (`expect("head exists")`) or a silently-poisoned result (a NaN charge
+//! folding through `f64::max` into a bogus makespan).
+
+use crate::engine::event::FlowId;
+use crate::node::NodeOom;
+
+/// Why a replay could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The combined peak footprints of co-located ranks exceed a GPU's
+    /// memory (checked before the event loop starts).
+    Oom(NodeOom),
+    /// A recorded charge is NaN or infinite. Validated at intake so the
+    /// makespan reduction cannot silently drop the poisoned rank
+    /// (`f64::max(NaN, x) == x`).
+    NonFiniteCharge {
+        /// Global rank whose trace carries the charge.
+        rank: usize,
+        /// Index of the offending segment in that rank's trace.
+        segment: usize,
+        /// The segment's accounting label.
+        label: String,
+        /// The non-finite value as recorded.
+        value: f64,
+    },
+    /// A flow's completion event fired with nothing left to complete —
+    /// the transfer stream was empty when its head was due.
+    StreamUnderflow {
+        /// Global rank whose flow misfired.
+        rank: usize,
+        /// Which of the rank's flows misfired.
+        flow: FlowId,
+    },
+    /// The replay quiesced with ranks still blocked: a collective
+    /// barrier that can never fill.
+    Deadlock {
+        /// Number of ranks left blocked.
+        blocked: usize,
+    },
+}
+
+impl EngineError {
+    /// The OOM details, if this is an out-of-memory failure.
+    pub fn as_oom(&self) -> Option<&NodeOom> {
+        match self {
+            EngineError::Oom(oom) => Some(oom),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Oom(oom) => oom.fmt(f),
+            EngineError::NonFiniteCharge {
+                rank,
+                segment,
+                label,
+                value,
+            } => write!(
+                f,
+                "rank {rank} segment {segment} ('{label}') carries a non-finite charge ({value})"
+            ),
+            EngineError::StreamUnderflow { rank, flow } => write!(
+                f,
+                "rank {rank} {} flow completed with an empty stream",
+                flow.name()
+            ),
+            EngineError::Deadlock { blocked } => write!(
+                f,
+                "replay deadlocked: {blocked} rank(s) blocked with no pending event"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Oom(oom) => Some(oom),
+            _ => None,
+        }
+    }
+}
+
+impl From<NodeOom> for EngineError {
+    fn from(oom: NodeOom) -> Self {
+        EngineError::Oom(oom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_culprit() {
+        let e = EngineError::StreamUnderflow {
+            rank: 3,
+            flow: FlowId::Stream,
+        };
+        assert_eq!(
+            e.to_string(),
+            "rank 3 stream flow completed with an empty stream"
+        );
+        let e = EngineError::NonFiniteCharge {
+            rank: 1,
+            segment: 4,
+            label: "k".into(),
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("rank 1 segment 4"));
+        assert!(e.to_string().contains("NaN"));
+        let e = EngineError::Deadlock { blocked: 2 };
+        assert!(e.to_string().contains("2 rank(s)"));
+    }
+
+    #[test]
+    fn oom_wraps_with_source() {
+        let oom = NodeOom {
+            gpu: 5,
+            demanded: 10,
+            capacity: 4,
+        };
+        let e = EngineError::from(oom.clone());
+        assert_eq!(e.as_oom(), Some(&oom));
+        assert_eq!(e.to_string(), oom.to_string());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -9,14 +9,24 @@
 //! inter-node collectives as network events so congestion emerges from
 //! NIC occupancy rather than from a closed-form assumption.
 //!
-//! The event loop lives in the private `sim` submodule: between events every active flow
-//! drains at a constant rate, each event is a predicted flow completion
-//! (lazily invalidated when resource membership changes), and rates are
-//! recomputed in global rank order at every event so the replay is
-//! deterministic and — for the legacy single-node configurations —
-//! bit-compatible with the analytic replay it replaced.
+//! The event loop lives in the private `sim` submodule: between events
+//! every active flow drains at a constant rate, and each event is a
+//! predicted flow completion (lazily invalidated when resource
+//! membership changes, with bounded staleness — the calendar queue in
+//! [`event`] compacts itself when stale entries outnumber live ones).
+//! Traces are compiled to a flat per-node segment arena with interned
+//! labels before the loop starts, accounting is settled lazily per
+//! resource, and nodes are stepped as independent shards between
+//! collective barriers, so the loop is allocation-free and touches only
+//! what each event changes. Replays are deterministic — independent of
+//! shard scheduling — and, for the legacy single-node configurations,
+//! match the analytic replay they replaced to ≤ 1e-9.
+//!
+//! Failures are typed: every entry point returns [`EngineError`] instead
+//! of panicking mid-replay or folding NaN charges into the makespan.
 
 pub mod cluster;
+pub mod error;
 pub mod event;
 pub mod policy;
 pub mod resources;
@@ -25,5 +35,6 @@ pub(crate) mod sim;
 pub use cluster::{
     cluster_collective_bytes, simulate_cluster, simulate_cluster_traced, ClusterResult,
 };
+pub use error::EngineError;
 pub use policy::{GpuSchedContext, KernelReq, SchedulePolicy, SchedulePolicyKind};
 pub use resources::{Nic, PcieLink, SmPool};

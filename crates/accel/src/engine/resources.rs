@@ -1,16 +1,24 @@
 //! Typed shared resources: SM pools, PCIe links, NICs.
 //!
 //! Each resource tracks its *current membership* (which flows want it
-//! right now — recomputed at every event, because membership is exactly
-//! what events change) and its *accumulated accounting* (busy seconds,
-//! switch charges), which survives the whole replay and feeds
+//! right now) and its *accumulated accounting* (busy seconds, switch
+//! charges), which survives the whole replay and feeds
 //! [`crate::node::NodeResult`] / [`crate::engine::ClusterResult`].
+//!
+//! Accounting is **settle-on-change**: membership is piecewise-constant
+//! between events, so instead of folding `load × dt` into the totals at
+//! every event (the pre-optimization engine's per-event `accumulate`
+//! walk over all resources), each resource remembers when it was last
+//! settled and integrates the elapsed interval only when its membership
+//! actually changes. The integral is identical — the load was constant
+//! over the whole interval — and the event loop no longer touches
+//! resources that an event does not affect.
 
 /// One GPU's streaming-multiprocessor pool.
 #[derive(Debug, Clone, Default)]
 pub struct SmPool {
     /// Σ solo-utilisation over kernels currently wanting this GPU
-    /// (recomputed per event).
+    /// (updated when kernel membership changes).
     pub load: f64,
     /// Ranks resident on this GPU for the whole replay (static
     /// assignment, whether or not they are currently computing).
@@ -19,21 +27,26 @@ pub struct SmPool {
     pub busy: f64,
     /// Accumulated seconds lost to context switches (zero under MPS).
     pub switch_seconds: f64,
+    /// Virtual time the accounting was last settled to.
+    pub settled_at: f64,
 }
 
 impl SmPool {
-    /// Fold `dt` seconds at the current load into the busy accounting.
-    pub fn accumulate(&mut self, dt: f64) {
-        if self.load > 0.0 {
+    /// Integrate the interval since the last settle at the current load
+    /// into the busy accounting. Call *before* changing `load`.
+    pub fn settle(&mut self, now: f64) {
+        let dt = now - self.settled_at;
+        if dt > 0.0 && self.load > 0.0 {
             self.busy += self.load.min(1.0) * dt;
         }
+        self.settled_at = now;
     }
 }
 
 /// One GPU's PCIe link (shared equally by its active transfers).
 #[derive(Debug, Clone, Default)]
 pub struct PcieLink {
-    /// Transfers on the wire right now (recomputed per event).
+    /// Transfers on the wire right now (updated when flows join/leave).
     pub users: u32,
 }
 
@@ -51,11 +64,17 @@ impl PcieLink {
 /// being assumed away.
 #[derive(Debug, Clone, Default)]
 pub struct Nic {
-    /// Ranks of this node currently inside a collective (recomputed per
-    /// event).
+    /// Ranks of this node currently inside a collective (updated when
+    /// collective membership changes).
     pub active: u32,
     /// Accumulated seconds the NIC spent moving collective traffic.
     pub busy: f64,
+    /// Accumulated *per-rank* seconds inside collective network phases
+    /// (`active × dt`, so two ranks sharing the NIC for a second count
+    /// as two collective-seconds).
+    pub collective_seconds: f64,
+    /// Virtual time the accounting was last settled to.
+    pub settled_at: f64,
 }
 
 impl Nic {
@@ -64,11 +83,15 @@ impl Nic {
         1.0 / self.active.max(1) as f64
     }
 
-    /// Fold `dt` seconds at the current membership into the accounting.
-    pub fn accumulate(&mut self, dt: f64) {
-        if self.active > 0 {
+    /// Integrate the interval since the last settle at the current
+    /// membership. Call *before* changing `active`.
+    pub fn settle(&mut self, now: f64) {
+        let dt = now - self.settled_at;
+        if dt > 0.0 && self.active > 0 {
             self.busy += dt;
+            self.collective_seconds += self.active as f64 * dt;
         }
+        self.settled_at = now;
     }
 }
 
@@ -82,14 +105,26 @@ mod tests {
             load: 2.5,
             ..SmPool::default()
         };
-        pool.accumulate(2.0);
+        pool.settle(2.0);
         assert_eq!(pool.busy, 2.0);
         pool.load = 0.25;
-        pool.accumulate(2.0);
+        pool.settle(4.0);
         assert_eq!(pool.busy, 2.5);
         pool.load = 0.0;
-        pool.accumulate(5.0);
+        pool.settle(9.0);
         assert_eq!(pool.busy, 2.5);
+        assert_eq!(pool.settled_at, 9.0);
+    }
+
+    #[test]
+    fn settle_is_idempotent_at_the_same_instant() {
+        let mut pool = SmPool {
+            load: 1.0,
+            ..SmPool::default()
+        };
+        pool.settle(1.0);
+        pool.settle(1.0);
+        assert_eq!(pool.busy, 1.0);
     }
 
     #[test]
@@ -100,18 +135,21 @@ mod tests {
         assert_eq!(idle.rate(), 1.0);
         let nic = Nic {
             active: 16,
-            busy: 0.0,
+            ..Nic::default()
         };
         assert_eq!(nic.rate(), 1.0 / 16.0);
     }
 
     #[test]
-    fn nic_busy_counts_only_active_intervals() {
+    fn nic_settle_counts_only_active_intervals() {
         let mut nic = Nic::default();
-        nic.accumulate(1.0);
+        nic.settle(1.0);
         assert_eq!(nic.busy, 0.0);
         nic.active = 3;
-        nic.accumulate(0.5);
+        nic.settle(1.5);
         assert_eq!(nic.busy, 0.5);
+        // Two ranks over one second: one busy-second, two
+        // collective-seconds.
+        assert_eq!(nic.collective_seconds, 1.5);
     }
 }

@@ -1,12 +1,12 @@
 //! The discrete-event core: ranks, flows, resources and the event loop.
 //!
 //! The engine replays recorded [`RankTrace`]s against typed shared
-//! resources ([`SmPool`], [`PcieLink`], [`Nic`]) on one virtual clock.
-//! Between events every active *flow* (a rank's current segment, or the
-//! head of its async transfer stream) drains at a constant rate; an event
-//! is whatever changes a rate:
+//! resources ([`SmPool`], [`PcieLink`], [`Nic`]). Between events every
+//! active *flow* (a rank's current segment, or the head of its async
+//! transfer stream) drains at a constant rate; an event is whatever
+//! changes a rate:
 //!
-//! * a flow completing (predicted on the [`EventHeap`], lazily
+//! * a flow completing (predicted on the [`EventQueue`], lazily
 //!   invalidated when resource membership shifts),
 //! * a barrier releasing (the last rank arriving at a collective),
 //! * a stream draining (waking a kernel that was waiting on its data).
@@ -16,19 +16,61 @@
 //! partitioned among ranks and segments were sized for their thread
 //! count); PCIe links and NICs are shared equally among their users.
 //!
-//! The semantics for the default configuration (one node, synchronous
-//! transfers, MPS or time-sliced arbitration) are those of the original
-//! analytic replay, reproduced step for step — the golden-path regression
-//! in `repro-bench` holds the engine to the pre-refactor makespans within
-//! 1e-9.
+//! # Hot-path architecture
+//!
+//! The loop is built to run allocation-free after setup and to touch
+//! only what an event changes:
+//!
+//! * **Compiled segment arena.** Each node's traces are compiled once
+//!   into a flat `Vec<CSeg>` of plain-old-data segments — costs
+//!   precomputed from the calibration, labels interned as [`LabelId`]s —
+//!   so the loop never chases `String`s or recomputes kernel models.
+//!   Charges are validated finite here; a NaN duration is a typed
+//!   [`EngineError::NonFiniteCharge`], not a silently-bogus makespan.
+//! * **Settle-on-change flows.** A flow's `remaining` is only brought up
+//!   to date (`remaining -= rate · Δt`) when its rate is about to change
+//!   or it completes. Rates change exactly when a *resource membership*
+//!   changes, so each event re-rates the handful of flows sharing the
+//!   affected pool/link/NIC instead of advancing every rank in the job.
+//! * **Per-node shards.** GPUs, PCIe links and the NIC are node-local;
+//!   only collective barriers couple nodes. Each node is therefore an
+//!   independent sub-simulation ([`Shard`]) with its own clock and
+//!   [`EventQueue`], stepped in parallel (`par_iter_mut` over shards —
+//!   the rayon shim sequentialises this offline, the structure is
+//!   thread-ready) between barrier releases. A shard stops popping as
+//!   soon as all of its participants in the earliest unreleased barrier
+//!   have arrived; the coordinator then releases that barrier at the
+//!   global max arrival time and resumes the shards. Shards with *no*
+//!   participants left run to completion — participation in barrier
+//!   `s` implies participation in every earlier barrier, so such ranks
+//!   can never be coupled to another node again.
+//!
+//! # Determinism contract
+//!
+//! Results are a pure function of the traces and configuration,
+//! independent of shard scheduling: shards share no mutable state while
+//! stepping, events within a shard pop in `(time, push-seq)` order, load
+//! sums and policy inputs are assembled in ascending rank order, and all
+//! cross-shard reductions (arrival draining, release, output merge) walk
+//! shards in node order. The golden-path regression in `repro-bench`
+//! holds makespans to the pre-refactor analytic replay within 1e-9, and
+//! the determinism suite asserts byte-identical exported traces across
+//! repeated runs and thread counts.
 
 use std::collections::VecDeque;
 
-use crate::engine::event::{Completion, EventHeap, FlowId};
+use rayon::prelude::*;
+
+use crate::engine::error::EngineError;
+use crate::engine::event::{Completion, EventQueue, FlowId};
 use crate::engine::policy::{GpuSchedContext, KernelReq, SchedulePolicy};
 use crate::engine::resources::{Nic, PcieLink, SmPool};
 use crate::node::{GpuSample, NodeConfig, NodeOom, NodeTimeline, TimelineEvent, TimelineKind};
-use crate::trace::{RankTrace, Segment};
+use crate::trace::{LabelId, LabelTable, RankTrace, Segment};
+
+/// Completion tolerance on a flow's remaining demand (matches the
+/// pre-optimization engine's per-event check).
+const EPS: f64 = 1e-15;
 
 /// Everything the event loop accumulates.
 #[derive(Debug, Default)]
@@ -51,129 +93,201 @@ pub(crate) struct SimOutput {
 }
 
 impl SimOutput {
-    /// Wall-clock seconds until the last rank finished.
+    /// Wall-clock seconds until the last rank finished. Charges are
+    /// validated finite at intake, so the `f64::max` fold cannot drop a
+    /// NaN here.
     pub fn wall_seconds(&self) -> f64 {
         self.rank_seconds.iter().cloned().fold(0.0, f64::max)
     }
 }
 
-/// What a rank's main flow is currently doing.
-#[derive(Debug, Clone)]
-enum Activity {
-    /// Running host code; `remaining` host-seconds left.
-    Host { remaining: f64 },
-    /// Kernel on global GPU `gpu`: `remaining` device-seconds of demand
-    /// at solo utilisation `util`.
+/// A compiled segment: every cost precomputed against the calibration,
+/// every label interned. Plain old data — the arena is a flat `Vec`.
+#[derive(Debug, Clone, Copy)]
+enum CSeg {
+    /// Host work (including device-alloc latency) at rate 1.
+    Host { seconds: f64, label: LabelId },
+    /// A kernel: host lead-in (dispatch + launch latency), then
+    /// `device_seconds` of demand at solo utilisation `util`.
     Kernel {
-        gpu: usize,
-        remaining: f64,
+        lead: f64,
+        device_seconds: f64,
         util: f64,
+        name: LabelId,
+        dispatch_label: LabelId,
     },
-    /// Synchronous transfer on `gpu`'s PCIe link; `remaining`
-    /// link-seconds.
-    Transfer { gpu: usize, remaining: f64 },
-    /// Inside a collective's network phase on `node`'s NIC; `remaining`
-    /// NIC-seconds (the analytic solo cost).
-    Collective { node: usize, remaining: f64 },
-    /// Arrived at collective barrier `seq`; `seconds` of network demand
+    /// A PCIe transfer: `seconds` of link time at full link rate.
+    Transfer { seconds: f64, label: LabelId },
+    /// A collective: barrier, then `seconds` of NIC time at full NIC
+    /// rate. `wait_label` is the pre-built `<label>/wait` timeline tag.
+    Collective {
+        seconds: f64,
+        label: LabelId,
+        wait_label: LabelId,
+    },
+}
+
+/// What a rank's main flow is currently doing. Remaining demand lives in
+/// [`Rank::main_remaining`] so settle logic is uniform across variants.
+#[derive(Debug, Clone, Copy)]
+enum Act {
+    /// Running host code (includes kernel dispatch lead-ins).
+    Host,
+    /// Kernel on the rank's GPU at solo utilisation `util`.
+    Kernel { util: f64 },
+    /// Synchronous transfer on the rank's GPU's PCIe link.
+    Transfer,
+    /// Inside a collective's network phase on the node NIC.
+    Collective,
+    /// Arrived at a collective barrier; `seconds` of network demand
     /// pending release.
-    Barrier { seconds: f64 },
-    /// Blocked until the rank's async transfer stream drains (a kernel
-    /// needs the data, or the trace ended with transfers in flight).
+    Barrier { seconds: f64, wait_label: LabelId },
+    /// Blocked until the rank's async transfer stream drains.
     StreamWait,
     /// All segments consumed and the stream drained.
     Done,
 }
 
-/// One queued asynchronous transfer on a rank's stream.
-#[derive(Debug, Clone)]
-struct StreamXfer {
-    remaining: f64,
-    label: String,
+/// One flow's service state: its current rate, when its remaining demand
+/// was last settled, and its prediction bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct Flow {
+    rate: f64,
+    /// Virtual time `remaining` was last brought up to date.
+    settled: f64,
+    /// Prediction generation; queue entries with older generations are
+    /// stale.
+    gen: u64,
+    /// Whether a live (current-generation) prediction is on the queue.
+    scheduled: bool,
 }
 
-struct RankState<'a> {
-    segments: &'a [Segment],
-    next: usize,
-    activity: Activity,
+/// One rank's replay state, indices into the shard's arenas.
+struct Rank {
+    /// This rank's compiled segments: `segs[seg_next..seg_end]` remain.
+    seg_next: u32,
+    seg_end: u32,
+    activity: Act,
     finish: f64,
-    /// Device part of a kernel whose host lead-in (dispatch + launch
-    /// latency) is currently running: `(device_seconds, utilization,
-    /// kernel name)`.
-    pending_kernel: Option<(f64, f64, String)>,
+    /// Arena index of a kernel whose host lead-in is currently running.
+    pending_kernel: Option<u32>,
     /// Label of the current activity (for the timeline).
-    cur_label: String,
+    cur_label: LabelId,
     /// Wall-clock start of the current activity.
     cur_start: f64,
-    /// Home node of this rank.
-    node: usize,
-    /// Global GPU index this rank's device work lands on.
-    gpu: usize,
+    /// Node-local GPU index this rank's device work lands on.
+    gpu: u32,
     /// Virtual time the current kernel reached the device (FIFO key).
     kernel_arrival: f64,
     /// Index of the next collective segment this rank will join.
-    collective_seq: usize,
-    /// FIFO of asynchronous transfers (head is on the link).
-    stream: VecDeque<StreamXfer>,
+    collective_seq: u32,
+    /// Total collective segments in this rank's trace.
+    collectives_total: u32,
+    /// FIFO of asynchronous transfers (head is on the link):
+    /// `(remaining link-seconds, label)`.
+    stream: VecDeque<(f64, LabelId)>,
     /// Wall-clock time the current stream head reached the link.
     stream_head_start: f64,
-    /// Cached service rates, generations and dirty flags per flow.
-    main_rate: f64,
-    main_gen: u64,
-    main_dirty: bool,
-    stream_rate: f64,
-    stream_gen: u64,
-    stream_dirty: bool,
+    main_remaining: f64,
+    main: Flow,
+    stream_flow: Flow,
 }
 
-impl RankState<'_> {
-    fn remaining_main(&self) -> Option<f64> {
-        match &self.activity {
-            Activity::Host { remaining }
-            | Activity::Kernel { remaining, .. }
-            | Activity::Transfer { remaining, .. }
-            | Activity::Collective { remaining, .. } => Some(*remaining),
-            Activity::Barrier { .. } | Activity::StreamWait | Activity::Done => None,
-        }
+impl Rank {
+    fn is_main_active(&self) -> bool {
+        matches!(
+            self.activity,
+            Act::Host | Act::Kernel { .. } | Act::Transfer | Act::Collective
+        )
     }
 }
 
-/// One collective barrier: how many ranks must arrive, who is waiting.
-struct BarrierGroup {
-    expected: usize,
-    arrived: usize,
-    waiting: Vec<usize>,
+/// A GPU's SM pool plus its current kernel membership and the reusable
+/// policy scratch buffers.
+struct PoolState {
+    res: SmPool,
+    /// Local ranks with an active kernel here, ascending (the policy's
+    /// rank-order contract).
+    kernels: Vec<u32>,
+    reqs: Vec<KernelReq>,
+    rates: Vec<f64>,
 }
 
-pub(crate) struct Engine<'a> {
-    cfg: &'a NodeConfig,
+/// A PCIe link plus its member flows, sorted by `(rank, flow)`.
+struct LinkState {
+    res: PcieLink,
+    members: Vec<(u32, FlowId)>,
+}
+
+/// The node NIC plus its member ranks, ascending.
+struct NicState {
+    res: Nic,
+    members: Vec<u32>,
+}
+
+/// A timeline event before label resolution and index globalisation.
+struct RawEvent {
+    rank: u32,
+    gpu: Option<u32>,
+    label: LabelId,
+    kind: TimelineKind,
+    start: f64,
+    end: f64,
+}
+
+/// One collective barrier: how many ranks must arrive, across all nodes.
+struct Group {
+    expected: usize,
+    arrived: usize,
+    max_arrival: f64,
+}
+
+/// One node's independent sub-simulation.
+struct Shard<'a> {
+    /// Global index of local rank 0 / local GPU 0.
+    rank_base: usize,
+    gpu_base: usize,
     policy: &'a dyn SchedulePolicy,
+    cfg: &'a NodeConfig,
     record: bool,
-    gpus_per_node: usize,
-    ranks: Vec<RankState<'a>>,
-    pools: Vec<SmPool>,
-    links: Vec<PcieLink>,
-    nics: Vec<Nic>,
-    groups: Vec<BarrierGroup>,
-    heap: EventHeap,
-    timeline: NodeTimeline,
-    collective_seconds: f64,
-    collective_wait_seconds: f64,
-    /// Scratch: per-GPU kernel requests and policy-assigned rates.
-    kernel_reqs: Vec<Vec<KernelReq>>,
-    kernel_rates: Vec<Vec<f64>>,
+    overlap: bool,
+    segs: Vec<CSeg>,
+    ranks: Vec<Rank>,
+    pools: Vec<PoolState>,
+    links: Vec<LinkState>,
+    nic: NicState,
+    queue: EventQueue,
     now: f64,
+    collective_wait_seconds: f64,
+    /// Local participants per barrier seq (ranks with more collectives
+    /// than the seq index).
+    local_expected: Vec<u32>,
+    /// Local arrivals per barrier seq so far.
+    arrived_at: Vec<u32>,
+    /// Local ranks waiting at each barrier seq, arrival order.
+    waiting: Vec<Vec<u32>>,
+    /// Arrivals since the coordinator last drained: `(seq, time)`.
+    new_arrivals: Vec<(u32, f64)>,
+    raw_events: Vec<RawEvent>,
+    /// Occupancy samples with *local* GPU indices.
+    occupancy: Vec<GpuSample>,
+    lbl_stream_sync: LabelId,
+    lbl_context_switch: LabelId,
+    steps: usize,
+    step_limit: usize,
+    error: Option<EngineError>,
 }
 
 /// Replay `node_traces` (one slice of rank traces per node) against the
-/// engine's resources. Returns the accumulated accounting or an OOM when
-/// the combined peak footprints of the ranks sharing a GPU exceed its
-/// memory (`NodeOom::gpu` is the *global* GPU index).
+/// engine's resources. Returns the accumulated accounting, or a typed
+/// [`EngineError`]: OOM when co-located peak footprints exceed a GPU's
+/// memory, `NonFiniteCharge` when a recorded duration is NaN/infinite,
+/// `Deadlock` when a barrier can never fill.
 pub(crate) fn simulate(
     node_traces: &[&[RankTrace]],
     cfg: &NodeConfig,
     record: bool,
-) -> Result<SimOutput, NodeOom> {
+) -> Result<SimOutput, EngineError> {
     let gpus = cfg.gpus.max(1) as usize;
 
     // Memory feasibility per physical GPU: peak footprints of co-located
@@ -187,588 +301,889 @@ pub(crate) fn simulate(
                 .map(|(_, t)| t.peak_device_bytes)
                 .sum();
             if demanded > cfg.calib.gpu.mem_bytes {
-                return Err(NodeOom {
+                return Err(EngineError::Oom(NodeOom {
                     gpu: (n * gpus + g) as u32,
                     demanded,
                     capacity: cfg.calib.gpu.mem_bytes,
-                });
+                }));
             }
         }
     }
 
-    let mut engine = Engine::new(node_traces, cfg, record);
-    engine.run();
-    Ok(engine.into_output())
+    let mut labels = LabelTable::default();
+    let mut shards: Vec<Shard<'_>> = Vec::with_capacity(node_traces.len());
+    let mut rank_base = 0usize;
+    for (n, traces) in node_traces.iter().enumerate() {
+        let shard = Shard::compile(traces, rank_base, n * gpus, cfg, record, &mut labels)?;
+        rank_base += traces.len();
+        shards.push(shard);
+    }
+    // Barrier groups: collective `s` involves every rank whose trace
+    // contains more than `s` collective segments, so symmetric jobs
+    // synchronise globally and ragged traces cannot deadlock.
+    let max_seq = shards
+        .iter()
+        .map(|s| s.local_expected.len())
+        .max()
+        .unwrap_or(0);
+    let mut groups: Vec<Group> = (0..max_seq)
+        .map(|s| Group {
+            expected: shards
+                .iter()
+                .map(|sh| *sh.local_expected.get(s).unwrap_or(&0) as usize)
+                .sum(),
+            arrived: 0,
+            max_arrival: 0.0,
+        })
+        .collect();
+
+    // Prime every rank's first activity (may arrive at barriers at t=0).
+    for shard in &mut shards {
+        shard.prime();
+    }
+
+    // Phase loop: step all shards (in parallel) until each is blocked on
+    // the earliest unreleased barrier, then release it at the global max
+    // arrival time. Shards share nothing while stepping; every reduction
+    // below walks them in node order, so results are deterministic
+    // regardless of thread count.
+    let mut next_seq = 0usize;
+    loop {
+        let target = (next_seq < groups.len()).then_some(next_seq as u32);
+        shards
+            .par_iter_mut()
+            .for_each(|shard| shard.run_until_blocked(target));
+        for shard in &shards {
+            if let Some(e) = &shard.error {
+                return Err(e.clone());
+            }
+        }
+        for shard in &mut shards {
+            for (seq, t) in shard.new_arrivals.drain(..) {
+                debug_assert_eq!(seq as usize, next_seq, "arrival past the frontier barrier");
+                let g = &mut groups[seq as usize];
+                g.arrived += 1;
+                g.max_arrival = g.max_arrival.max(t);
+            }
+        }
+        let Some(seq) = target else {
+            // No barriers left and every queue drained: anything not
+            // Done is stuck for good.
+            let blocked = blocked_ranks(&shards);
+            if blocked > 0 {
+                return Err(EngineError::Deadlock { blocked });
+            }
+            break;
+        };
+        let group = &groups[seq as usize];
+        if group.arrived < group.expected {
+            // Every shard quiesced, yet the frontier barrier is short.
+            return Err(EngineError::Deadlock {
+                blocked: blocked_ranks(&shards),
+            });
+        }
+        let release_at = group.max_arrival;
+        for shard in &mut shards {
+            shard.release(seq, release_at);
+        }
+        next_seq += 1;
+    }
+
+    Ok(merge_output(shards, &labels, record))
 }
 
-impl<'a> Engine<'a> {
-    fn new(node_traces: &[&'a [RankTrace]], cfg: &'a NodeConfig, record: bool) -> Self {
+fn blocked_ranks(shards: &[Shard<'_>]) -> usize {
+    shards
+        .iter()
+        .flat_map(|s| &s.ranks)
+        .filter(|r| !matches!(r.activity, Act::Done))
+        .count()
+}
+
+/// Concatenate per-shard results in node order and resolve interned
+/// labels back to strings for the public timeline.
+fn merge_output(shards: Vec<Shard<'_>>, labels: &LabelTable, record: bool) -> SimOutput {
+    let mut out = SimOutput::default();
+    for shard in shards {
+        out.rank_seconds
+            .extend(shard.ranks.iter().map(|r| r.finish));
+        out.gpu_busy.extend(shard.pools.iter().map(|p| p.res.busy));
+        out.switch_seconds
+            .extend(shard.pools.iter().map(|p| p.res.switch_seconds));
+        out.nic_busy.push(shard.nic.res.busy);
+        out.collective_seconds += shard.nic.res.collective_seconds;
+        out.collective_wait_seconds += shard.collective_wait_seconds;
+        if record {
+            let rank_base = shard.rank_base;
+            let gpu_base = shard.gpu_base;
+            out.timeline
+                .events
+                .extend(shard.raw_events.into_iter().map(|e| TimelineEvent {
+                    rank: rank_base + e.rank as usize,
+                    gpu: e.gpu.map(|g| gpu_base + g as usize),
+                    label: labels.resolve(e.label).to_string(),
+                    kind: e.kind,
+                    start: e.start,
+                    end: e.end,
+                }));
+            out.timeline
+                .occupancy
+                .extend(shard.occupancy.into_iter().map(|s| GpuSample {
+                    gpu: gpu_base + s.gpu,
+                    ..s
+                }));
+        }
+    }
+    out
+}
+
+impl<'a> Shard<'a> {
+    /// Compile one node's traces into the segment arena, validating every
+    /// charge finite (`rank_base` globalises rank indices in errors).
+    fn compile(
+        traces: &'a [RankTrace],
+        rank_base: usize,
+        gpu_base: usize,
+        cfg: &'a NodeConfig,
+        record: bool,
+        labels: &mut LabelTable,
+    ) -> Result<Self, EngineError> {
         let gpus = cfg.gpus.max(1) as usize;
-        let nodes = node_traces.len();
-        let total_gpus = nodes * gpus;
+        let lbl_stream_sync = labels.intern("stream_sync");
+        let lbl_context_switch = labels.intern("context_switch");
+        let lbl_alloc = labels.intern("accel_data_alloc");
+        let gcal = &cfg.calib.gpu;
 
-        let mut ranks: Vec<RankState<'a>> = Vec::new();
-        for (n, traces) in node_traces.iter().enumerate() {
-            for (local, t) in traces.iter().enumerate() {
-                ranks.push(RankState {
-                    segments: &t.segments,
-                    next: 0,
-                    activity: Activity::Done,
-                    finish: 0.0,
-                    pending_kernel: None,
-                    cur_label: String::new(),
-                    cur_start: 0.0,
-                    node: n,
-                    gpu: n * gpus + local % gpus,
-                    kernel_arrival: 0.0,
-                    collective_seq: 0,
-                    stream: VecDeque::new(),
-                    stream_head_start: 0.0,
-                    main_rate: 0.0,
-                    main_gen: 0,
-                    main_dirty: true,
-                    stream_rate: 0.0,
-                    stream_gen: 0,
-                    stream_dirty: true,
-                });
-            }
-        }
+        // `<name>/dispatch` labels, cached by the kernel name's label id:
+        // building the string once per distinct kernel instead of once per
+        // kernel segment keeps the compile pass allocation-light.
+        let mut dispatch_labels: Vec<Option<LabelId>> = Vec::new();
 
-        let mut pools: Vec<SmPool> = vec![SmPool::default(); total_gpus];
-        for r in &ranks {
-            pools[r.gpu].clients += 1;
-        }
-
-        // Barrier groups: collective `s` involves every rank whose trace
-        // contains more than `s` collective segments, so symmetric jobs
-        // synchronise globally and ragged traces cannot deadlock.
-        let counts: Vec<usize> = ranks
-            .iter()
-            .map(|r| {
-                r.segments
-                    .iter()
-                    .filter(|s| matches!(s, Segment::Collective { .. }))
-                    .count()
-            })
-            .collect();
-        let max_seq = counts.iter().copied().max().unwrap_or(0);
-        let groups = (0..max_seq)
-            .map(|s| BarrierGroup {
-                expected: counts.iter().filter(|&&c| c > s).count(),
-                arrived: 0,
-                waiting: Vec::new(),
-            })
-            .collect();
-
-        Self {
-            cfg,
-            policy: cfg.schedule.resolve(cfg.mps),
-            record,
-            gpus_per_node: gpus,
-            ranks,
-            pools,
-            links: vec![PcieLink::default(); total_gpus],
-            nics: vec![Nic::default(); nodes],
-            groups,
-            heap: EventHeap::new(),
-            timeline: NodeTimeline::default(),
-            collective_seconds: 0.0,
-            collective_wait_seconds: 0.0,
-            kernel_reqs: vec![Vec::new(); total_gpus],
-            kernel_rates: vec![Vec::new(); total_gpus],
-            now: 0.0,
-        }
-    }
-
-    fn run(&mut self) {
-        // Prime every rank's first activity.
-        for r in 0..self.ranks.len() {
-            self.advance_segment(r);
-            self.enter_kernel_if_needed(r);
-        }
-
-        let mut guard = 0usize;
-        let guard_limit = 20
-            * self
-                .ranks
-                .iter()
-                .map(|s| s.segments.len() + 2)
-                .sum::<usize>()
-            + 1000;
-
-        loop {
-            guard += 1;
-            assert!(guard < guard_limit, "replay failed to converge");
-
-            self.refresh_rates();
-
-            // Predicted completion of the earliest valid flow defines dt.
-            let ranks = &self.ranks;
-            let popped = self.heap.pop_valid(|r, flow| match flow {
-                FlowId::Main => ranks[r].main_gen,
-                FlowId::Stream => ranks[r].stream_gen,
-            });
-            let Some((t, completion)) = popped else {
-                // Nothing can complete: everything is Done, or the replay
-                // deadlocked (a barrier that can never fill) — the latter
-                // is a bug worth failing loudly on.
-                let stuck = self
-                    .ranks
-                    .iter()
-                    .filter(|s| !matches!(s.activity, Activity::Done))
-                    .count();
-                assert!(
-                    stuck == 0,
-                    "replay deadlocked: {stuck} rank(s) blocked with no pending event"
-                );
-                break;
-            };
-            let dt = (t - self.now).max(0.0);
-
-            if self.record {
-                for (g, pool) in self.pools.iter().enumerate() {
-                    self.timeline.occupancy.push(GpuSample {
-                        t: self.now,
-                        gpu: g,
-                        load: pool.load.min(1.0),
-                    });
-                }
-            }
-            self.now += dt;
-            for pool in &mut self.pools {
-                pool.accumulate(dt);
-            }
-            for nic in &mut self.nics {
-                nic.accumulate(dt);
-            }
-            self.collective_seconds += dt
-                * self
-                    .ranks
-                    .iter()
-                    .filter(|s| matches!(s.activity, Activity::Collective { .. }))
-                    .count() as f64;
-
-            // Advance every flow and process completions in rank order.
-            let mut completed_popped = false;
-            for r in 0..self.ranks.len() {
-                let main_finished = {
-                    let s = &mut self.ranks[r];
-                    let served = s.main_rate * dt;
-                    match &mut s.activity {
-                        Activity::Host { remaining }
-                        | Activity::Kernel { remaining, .. }
-                        | Activity::Transfer { remaining, .. }
-                        | Activity::Collective { remaining, .. } => {
-                            *remaining -= served;
-                            *remaining <= 1e-15
-                        }
-                        _ => false,
+        let mut segs: Vec<CSeg> = Vec::with_capacity(traces.iter().map(|t| t.segments.len()).sum());
+        let mut ranks: Vec<Rank> = Vec::with_capacity(traces.len());
+        for (local, trace) in traces.iter().enumerate() {
+            let seg_start = segs.len() as u32;
+            let mut collectives = 0u32;
+            for (i, seg) in trace.segments.iter().enumerate() {
+                let check = |value: f64| -> Result<f64, EngineError> {
+                    if value.is_finite() {
+                        Ok(value)
+                    } else {
+                        Err(EngineError::NonFiniteCharge {
+                            rank: rank_base + local,
+                            segment: i,
+                            label: seg.label().to_string(),
+                            value,
+                        })
                     }
                 };
-                if main_finished {
-                    if completion.rank == r && completion.flow == FlowId::Main {
-                        completed_popped = true;
-                    }
-                    self.complete_main(r);
-                }
-
-                let stream_finished = {
-                    let s = &mut self.ranks[r];
-                    match s.stream.front_mut() {
-                        Some(head) => {
-                            head.remaining -= s.stream_rate * dt;
-                            head.remaining <= 1e-15
-                        }
-                        None => false,
-                    }
-                };
-                if stream_finished {
-                    if completion.rank == r && completion.flow == FlowId::Stream {
-                        completed_popped = true;
-                    }
-                    self.complete_stream_head(r);
-                }
-            }
-
-            // The popped prediction can miss by an ulp when the clock is
-            // large; if its flow survived, force a fresh prediction so the
-            // replay cannot stall.
-            if !completed_popped {
-                match completion.flow {
-                    FlowId::Main => self.ranks[completion.rank].main_dirty = true,
-                    FlowId::Stream => self.ranks[completion.rank].stream_dirty = true,
-                }
-            }
-        }
-    }
-
-    /// Recompute resource membership and every flow's service rate;
-    /// schedule fresh completion predictions for flows whose rate changed.
-    fn refresh_rates(&mut self) {
-        for pool in &mut self.pools {
-            pool.load = 0.0;
-        }
-        for link in &mut self.links {
-            link.users = 0;
-        }
-        for nic in &mut self.nics {
-            nic.active = 0;
-        }
-        for reqs in &mut self.kernel_reqs {
-            reqs.clear();
-        }
-
-        for (r, s) in self.ranks.iter().enumerate() {
-            match &s.activity {
-                Activity::Kernel { gpu, util, .. } => {
-                    self.pools[*gpu].load += *util;
-                    self.kernel_reqs[*gpu].push(KernelReq {
-                        rank: r,
-                        util: *util,
-                        arrival: s.kernel_arrival,
-                    });
-                }
-                Activity::Transfer { gpu, .. } => self.links[*gpu].users += 1,
-                Activity::Collective { node, .. } => self.nics[*node].active += 1,
-                _ => {}
-            }
-            if !s.stream.is_empty() {
-                self.links[s.gpu].users += 1;
-            }
-        }
-
-        for g in 0..self.pools.len() {
-            self.kernel_rates[g].clear();
-            if !self.kernel_reqs[g].is_empty() {
-                let ctx = GpuSchedContext {
-                    calib: &self.cfg.calib.gpu,
-                    load: self.pools[g].load,
-                    clients: self.pools[g].clients,
-                };
-                self.policy
-                    .rates(&ctx, &self.kernel_reqs[g], &mut self.kernel_rates[g]);
-            }
-        }
-        // Scatter policy rates back by rank.
-        let mut kernel_rate_of = vec![0.0f64; self.ranks.len()];
-        for g in 0..self.kernel_reqs.len() {
-            for (i, req) in self.kernel_reqs[g].iter().enumerate() {
-                kernel_rate_of[req.rank] = self.kernel_rates[g][i];
-            }
-        }
-
-        // Indexed in rank order on purpose: r addresses ranks,
-        // kernel_rate_of, links and nics together, and the order is the
-        // FP-determinism contract.
-        #[allow(clippy::needless_range_loop)]
-        for r in 0..self.ranks.len() {
-            let main_rate = match &self.ranks[r].activity {
-                Activity::Host { .. } => 1.0,
-                Activity::Kernel { .. } => kernel_rate_of[r],
-                Activity::Transfer { gpu, .. } => self.links[*gpu].rate(),
-                Activity::Collective { node, .. } => self.nics[*node].rate(),
-                Activity::Barrier { .. } | Activity::StreamWait | Activity::Done => 0.0,
-            };
-            let s = &mut self.ranks[r];
-            if s.main_dirty || main_rate != s.main_rate {
-                s.main_rate = main_rate;
-                s.main_dirty = false;
-                s.main_gen += 1;
-                if main_rate > 0.0 {
-                    if let Some(remaining) = s.remaining_main() {
-                        self.heap.push(
-                            self.now + remaining / main_rate,
-                            Completion {
-                                rank: r,
-                                flow: FlowId::Main,
-                                gen: s.main_gen,
-                            },
-                        );
-                    }
-                }
-            }
-
-            let stream_rate = if self.ranks[r].stream.is_empty() {
-                0.0
-            } else {
-                self.links[self.ranks[r].gpu].rate()
-            };
-            let s = &mut self.ranks[r];
-            if s.stream_dirty || stream_rate != s.stream_rate {
-                s.stream_rate = stream_rate;
-                s.stream_dirty = false;
-                s.stream_gen += 1;
-                if stream_rate > 0.0 {
-                    if let Some(head) = s.stream.front() {
-                        self.heap.push(
-                            self.now + head.remaining / stream_rate,
-                            Completion {
-                                rank: r,
-                                flow: FlowId::Stream,
-                                gen: s.stream_gen,
-                            },
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    /// A rank's main flow finished: record it, move to the next segment.
-    fn complete_main(&mut self, r: usize) {
-        if self.record {
-            let (kind, gpu) = match &self.ranks[r].activity {
-                Activity::Host { .. } => (TimelineKind::Host, None),
-                Activity::Kernel { gpu, .. } => (TimelineKind::Kernel, Some(*gpu)),
-                Activity::Transfer { gpu, .. } => (TimelineKind::Transfer, Some(*gpu)),
-                Activity::Collective { .. } => (TimelineKind::Collective, None),
-                _ => unreachable!("finished implies a timed activity"),
-            };
-            self.timeline.events.push(TimelineEvent {
-                rank: r,
-                gpu,
-                label: self.ranks[r].cur_label.clone(),
-                kind,
-                start: self.ranks[r].cur_start,
-                end: self.now,
-            });
-        }
-        self.advance_segment(r);
-        self.ranks[r].cur_start = self.now;
-        self.enter_kernel_if_needed(r);
-        self.finish_if_done(r);
-    }
-
-    /// The head of a rank's async transfer stream finished.
-    fn complete_stream_head(&mut self, r: usize) {
-        let head = self.ranks[r].stream.pop_front().expect("head exists");
-        if self.record {
-            self.timeline.events.push(TimelineEvent {
-                rank: r,
-                gpu: Some(self.ranks[r].gpu),
-                label: head.label,
-                kind: TimelineKind::Transfer,
-                start: self.ranks[r].stream_head_start,
-                end: self.now,
-            });
-        }
-        self.ranks[r].stream_head_start = self.now;
-        self.ranks[r].stream_dirty = true;
-        if self.ranks[r].stream.is_empty() && matches!(self.ranks[r].activity, Activity::StreamWait)
-        {
-            // The stream drained while the main flow was synchronising on
-            // it: record the wait and resume the segment chain.
-            if self.record && self.now > self.ranks[r].cur_start {
-                self.timeline.events.push(TimelineEvent {
-                    rank: r,
-                    gpu: Some(self.ranks[r].gpu),
-                    label: "stream_sync".into(),
-                    kind: TimelineKind::Wait,
-                    start: self.ranks[r].cur_start,
-                    end: self.now,
-                });
-            }
-            self.advance_segment(r);
-            self.ranks[r].cur_start = self.now;
-            self.enter_kernel_if_needed(r);
-            self.finish_if_done(r);
-        }
-    }
-
-    fn finish_if_done(&mut self, r: usize) {
-        if matches!(self.ranks[r].activity, Activity::Done) && self.ranks[r].finish == 0.0 {
-            self.ranks[r].finish = self.now;
-        }
-    }
-
-    /// Charge the policy's context-switch demand when a rank's new
-    /// activity is a kernel, and stamp its arrival for FIFO arbitration.
-    fn enter_kernel_if_needed(&mut self, r: usize) {
-        let gpu = match &self.ranks[r].activity {
-            Activity::Kernel { gpu, .. } => *gpu,
-            _ => return,
-        };
-        self.ranks[r].kernel_arrival = self.now;
-        let ctx = GpuSchedContext {
-            calib: &self.cfg.calib.gpu,
-            load: self.pools[gpu].load,
-            clients: self.pools[gpu].clients,
-        };
-        let extra = self.policy.switch_demand(&ctx);
-        if extra > 0.0 {
-            if let Activity::Kernel { remaining, .. } = &mut self.ranks[r].activity {
-                *remaining += extra;
-            }
-            self.pools[gpu].switch_seconds += extra;
-            if self.record {
-                self.timeline.events.push(TimelineEvent {
-                    rank: r,
-                    gpu: Some(gpu),
-                    label: "context_switch".into(),
-                    kind: TimelineKind::ContextSwitch,
-                    start: self.now,
-                    end: self.now,
-                });
-            }
-        }
-    }
-
-    /// Pop the next segment of rank `r` into its activity slot. A `Kernel`
-    /// segment expands to a host lead-in (dispatch + launch latency)
-    /// followed by the device part, staged through `pending_kernel`.
-    /// Under overlapped transfers, `Transfer` segments enqueue on the
-    /// rank's stream without blocking, and a `Kernel` segment synchronises
-    /// on the stream first.
-    fn advance_segment(&mut self, r: usize) {
-        let now = self.now;
-        let overlap = self.cfg.overlap_transfers;
-        let mut barrier_arrival: Option<usize> = None;
-        {
-            let state = &mut self.ranks[r];
-            let gpu = state.gpu;
-            state.main_dirty = true;
-            if let Some((remaining, util, name)) = state.pending_kernel.take() {
-                state.cur_label = name;
-                state.activity = Activity::Kernel {
-                    gpu,
-                    remaining,
-                    util,
-                };
-                return;
-            }
-            state.activity = loop {
-                let Some(seg) = state.segments.get(state.next) else {
-                    if !state.stream.is_empty() {
-                        state.cur_label = "stream_sync".into();
-                        break Activity::StreamWait;
-                    }
-                    break Activity::Done;
-                };
-                // A kernel consumes data the stream may still be moving:
-                // synchronise before the launch (decided before consuming
-                // the segment, so the retry after the drain sees it again).
-                if overlap && !state.stream.is_empty() && matches!(seg, Segment::Kernel { .. }) {
-                    state.cur_label = "stream_sync".into();
-                    break Activity::StreamWait;
-                }
-                state.next += 1;
                 match seg {
                     Segment::Host { seconds, label } => {
-                        if *seconds > 0.0 {
-                            state.cur_label.clone_from(label);
-                            break Activity::Host {
-                                remaining: *seconds,
-                            };
+                        if check(*seconds)? > 0.0 {
+                            segs.push(CSeg::Host {
+                                seconds: *seconds,
+                                label: labels.intern(label),
+                            });
                         }
                     }
                     Segment::Kernel { profile, dispatch } => {
-                        let lead = dispatch + self.cfg.calib.gpu.launch_latency;
-                        state.pending_kernel = Some((
-                            profile.device_seconds(&self.cfg.calib.gpu),
-                            profile.solo_utilization(&self.cfg.calib.gpu).max(1e-6),
-                            profile.name.clone(),
-                        ));
-                        state.cur_label = format!("{}/dispatch", profile.name);
-                        break Activity::Host {
-                            remaining: lead.max(1e-12),
-                        };
+                        let lead = (check(*dispatch)? + gcal.launch_latency).max(1e-12);
+                        let name = labels.intern(&profile.name);
+                        if dispatch_labels.len() <= name.index() {
+                            dispatch_labels.resize(name.index() + 1, None);
+                        }
+                        let dispatch_label =
+                            *dispatch_labels[name.index()].get_or_insert_with(|| {
+                                labels.intern(&format!("{}/dispatch", profile.name))
+                            });
+                        segs.push(CSeg::Kernel {
+                            lead,
+                            device_seconds: check(profile.device_seconds(gcal))?,
+                            util: check(profile.solo_utilization(gcal).max(1e-6))?,
+                            name,
+                            dispatch_label,
+                        });
                     }
                     Segment::Transfer { bytes, label, .. } => {
-                        let t =
-                            self.cfg.calib.gpu.pcie_latency + bytes / self.cfg.calib.gpu.pcie_bw;
-                        if overlap {
-                            state.stream.push_back(StreamXfer {
-                                remaining: t,
-                                label: label.clone(),
-                            });
-                            if state.stream.len() == 1 {
-                                state.stream_head_start = now;
-                            }
-                            state.stream_dirty = true;
-                            continue;
-                        }
-                        state.cur_label.clone_from(label);
-                        break Activity::Transfer { gpu, remaining: t };
+                        segs.push(CSeg::Transfer {
+                            seconds: gcal.pcie_latency + check(*bytes)? / gcal.pcie_bw,
+                            label: labels.intern(label),
+                        });
                     }
                     Segment::DeviceAlloc { seconds } => {
-                        if *seconds > 0.0 {
-                            state.cur_label = "accel_data_alloc".into();
-                            break Activity::Host {
-                                remaining: *seconds,
-                            };
+                        if check(*seconds)? > 0.0 {
+                            segs.push(CSeg::Host {
+                                seconds: *seconds,
+                                label: lbl_alloc,
+                            });
                         }
                     }
-                    Segment::Collective { seconds, label, .. } => {
-                        let seq = state.collective_seq;
-                        state.collective_seq += 1;
-                        state.cur_label.clone_from(label);
-                        state.cur_start = now;
-                        barrier_arrival = Some(seq);
-                        break Activity::Barrier { seconds: *seconds };
+                    Segment::Collective {
+                        seconds,
+                        bytes,
+                        label,
+                    } => {
+                        check(*bytes)?;
+                        collectives += 1;
+                        segs.push(CSeg::Collective {
+                            seconds: check(*seconds)?,
+                            label: labels.intern(label),
+                            wait_label: labels.intern(&format!("{label}/wait")),
+                        });
                     }
                 }
-            };
+            }
+            ranks.push(Rank {
+                seg_next: seg_start,
+                seg_end: segs.len() as u32,
+                activity: Act::Done,
+                finish: 0.0,
+                pending_kernel: None,
+                cur_label: lbl_stream_sync,
+                cur_start: 0.0,
+                gpu: (local % gpus) as u32,
+                kernel_arrival: 0.0,
+                collective_seq: 0,
+                collectives_total: collectives,
+                stream: VecDeque::new(),
+                stream_head_start: 0.0,
+                main_remaining: 0.0,
+                main: Flow::default(),
+                stream_flow: Flow::default(),
+            });
         }
-        if let Some(seq) = barrier_arrival {
-            self.arrive_barrier(r, seq);
+
+        let mut pools: Vec<PoolState> = (0..gpus)
+            .map(|_| PoolState {
+                res: SmPool::default(),
+                kernels: Vec::new(),
+                reqs: Vec::new(),
+                rates: Vec::new(),
+            })
+            .collect();
+        for r in &ranks {
+            pools[r.gpu as usize].res.clients += 1;
+        }
+
+        let max_local_seq = ranks.iter().map(|r| r.collectives_total).max().unwrap_or(0) as usize;
+        let local_expected: Vec<u32> = (0..max_local_seq)
+            .map(|s| {
+                ranks
+                    .iter()
+                    .filter(|r| r.collectives_total as usize > s)
+                    .count() as u32
+            })
+            .collect();
+
+        let step_limit = 20 * ranks.iter().map(|r| trace_len(r) + 2).sum::<usize>() + 1000;
+
+        Ok(Self {
+            rank_base,
+            gpu_base,
+            policy: cfg.schedule.resolve(cfg.mps),
+            cfg,
+            record,
+            overlap: cfg.overlap_transfers,
+            segs,
+            ranks,
+            pools,
+            links: (0..gpus)
+                .map(|_| LinkState {
+                    res: PcieLink::default(),
+                    members: Vec::new(),
+                })
+                .collect(),
+            nic: NicState {
+                res: Nic::default(),
+                members: Vec::new(),
+            },
+            queue: EventQueue::new(),
+            now: 0.0,
+            collective_wait_seconds: 0.0,
+            arrived_at: vec![0; max_local_seq],
+            waiting: vec![Vec::new(); max_local_seq],
+            local_expected,
+            new_arrivals: Vec::new(),
+            raw_events: Vec::new(),
+            occupancy: Vec::new(),
+            lbl_stream_sync,
+            lbl_context_switch,
+            steps: 0,
+            step_limit,
+            error: None,
+        })
+    }
+
+    /// Start every rank's first activity at t = 0.
+    fn prime(&mut self) {
+        for r in 0..self.ranks.len() {
+            self.advance_segment(r, 0.0);
         }
     }
 
-    /// Rank `r` reached collective barrier `seq`; release everyone when it
-    /// was the last participant.
-    fn arrive_barrier(&mut self, r: usize, seq: usize) {
-        let group = &mut self.groups[seq];
-        group.arrived += 1;
-        group.waiting.push(r);
-        if group.arrived < group.expected {
+    /// Pop and process events until the shard cannot or should not
+    /// proceed: the queue is empty, or all local participants of the
+    /// `target` barrier have arrived (events past the last local arrival
+    /// stay queued — they are at times at or after it, and pop in order
+    /// once the barrier's release lands).
+    fn run_until_blocked(&mut self, target: Option<u32>) {
+        if self.error.is_some() {
             return;
         }
-        let waiting = std::mem::take(&mut self.groups[seq].waiting);
-        for w in waiting {
-            let wait = self.now - self.ranks[w].cur_start;
-            self.collective_wait_seconds += wait;
-            if self.record && wait > 0.0 {
-                self.timeline.events.push(TimelineEvent {
-                    rank: w,
-                    gpu: None,
-                    label: format!("{}/wait", self.ranks[w].cur_label),
-                    kind: TimelineKind::Wait,
-                    start: self.ranks[w].cur_start,
-                    end: self.now,
-                });
+        loop {
+            if let Some(s) = target {
+                let expected = *self.local_expected.get(s as usize).unwrap_or(&0);
+                if expected > 0 && self.arrived_at[s as usize] >= expected {
+                    return;
+                }
             }
-            let node = self.ranks[w].node;
-            let seconds = match self.ranks[w].activity {
-                Activity::Barrier { seconds } => seconds,
-                ref other => unreachable!("waiting rank must be at the barrier, was {other:?}"),
+            let ranks = &self.ranks;
+            let popped = self.queue.pop_valid(|r, flow| match flow {
+                FlowId::Main => ranks[r].main.gen,
+                FlowId::Stream => ranks[r].stream_flow.gen,
+            });
+            let Some((t, completion)) = popped else {
+                return;
             };
-            self.ranks[w].activity = Activity::Collective {
-                node,
-                remaining: seconds,
-            };
-            self.ranks[w].cur_start = self.now;
-            self.ranks[w].main_dirty = true;
+            self.steps += 1;
+            assert!(self.steps < self.step_limit, "replay failed to converge");
+            debug_assert!(t >= self.now, "event queue went backwards");
+            self.now = t;
+            match completion.flow {
+                FlowId::Main => self.complete_main(completion.rank, t),
+                FlowId::Stream => self.complete_stream_head(completion.rank, t),
+            }
+            if self.error.is_some() {
+                return;
+            }
         }
     }
 
-    fn into_output(self) -> SimOutput {
-        SimOutput {
-            rank_seconds: self.ranks.iter().map(|s| s.finish).collect(),
-            gpu_busy: self.pools.iter().map(|p| p.busy).collect(),
-            switch_seconds: self.pools.iter().map(|p| p.switch_seconds).collect(),
-            nic_busy: self.nics.iter().map(|n| n.busy).collect(),
-            collective_seconds: self.collective_seconds,
-            collective_wait_seconds: self.collective_wait_seconds,
-            timeline: self.timeline,
+    /// Settle a main flow's remaining demand up to `now`, then apply
+    /// `new_rate` and keep exactly one live prediction for it (none while
+    /// the flow is inactive or starved).
+    fn sync_main(&mut self, r: usize, new_rate: f64, now: f64) {
+        let rank = &mut self.ranks[r];
+        let dt = now - rank.main.settled;
+        if rank.main.rate > 0.0 && dt > 0.0 {
+            rank.main_remaining -= rank.main.rate * dt;
         }
+        rank.main.settled = now;
+        if new_rate != rank.main.rate {
+            if rank.main.scheduled {
+                rank.main.scheduled = false;
+                self.queue.note_stale();
+            }
+            let rank = &mut self.ranks[r];
+            rank.main.gen += 1;
+            rank.main.rate = new_rate;
+        }
+        let rank = &self.ranks[r];
+        if rank.main.rate > 0.0 && !rank.main.scheduled && rank.is_main_active() {
+            let at = now + (rank.main_remaining / rank.main.rate).max(0.0);
+            let completion = Completion {
+                rank: r,
+                flow: FlowId::Main,
+                gen: rank.main.gen,
+            };
+            self.queue.push(at, completion);
+            self.ranks[r].main.scheduled = true;
+        }
+    }
+
+    /// Settle the stream head up to `now`, then apply `new_rate` with the
+    /// same single-live-prediction discipline as [`Shard::sync_main`].
+    fn sync_stream(&mut self, r: usize, new_rate: f64, now: f64) {
+        let rank = &mut self.ranks[r];
+        let dt = now - rank.stream_flow.settled;
+        if rank.stream_flow.rate > 0.0 && dt > 0.0 {
+            if let Some(head) = rank.stream.front_mut() {
+                head.0 -= rank.stream_flow.rate * dt;
+            }
+        }
+        rank.stream_flow.settled = now;
+        if new_rate != rank.stream_flow.rate {
+            if rank.stream_flow.scheduled {
+                rank.stream_flow.scheduled = false;
+                self.queue.note_stale();
+            }
+            let rank = &mut self.ranks[r];
+            rank.stream_flow.gen += 1;
+            rank.stream_flow.rate = new_rate;
+        }
+        let rank = &self.ranks[r];
+        if rank.stream_flow.rate > 0.0 && !rank.stream_flow.scheduled {
+            if let Some(&(remaining, _)) = rank.stream.front() {
+                let at = now + (remaining / rank.stream_flow.rate).max(0.0);
+                let completion = Completion {
+                    rank: r,
+                    flow: FlowId::Stream,
+                    gen: rank.stream_flow.gen,
+                };
+                self.queue.push(at, completion);
+                self.ranks[r].stream_flow.scheduled = true;
+            }
+        }
+    }
+
+    /// Re-arbitrate one GPU after its kernel membership changed: settle
+    /// its accounting, rebuild the load sum and policy inputs in rank
+    /// order (the FP-determinism contract), and re-rate every member.
+    fn rerate_pool(&mut self, g: usize, now: f64) {
+        let pool = &mut self.pools[g];
+        pool.res.settle(now);
+        let old_load = pool.res.load;
+        let mut load = 0.0;
+        pool.reqs.clear();
+        for &k in &pool.kernels {
+            let rank = &self.ranks[k as usize];
+            let Act::Kernel { util } = rank.activity else {
+                unreachable!("pool member without a kernel activity");
+            };
+            load += util;
+            pool.reqs.push(KernelReq {
+                rank: self.rank_base + k as usize,
+                util,
+                arrival: rank.kernel_arrival,
+            });
+        }
+        pool.res.load = load;
+        pool.rates.clear();
+        if !pool.reqs.is_empty() {
+            let ctx = GpuSchedContext {
+                calib: &self.cfg.calib.gpu,
+                load,
+                clients: pool.res.clients,
+            };
+            self.policy.rates(&ctx, &pool.reqs, &mut pool.rates);
+        }
+        if self.record && load != old_load {
+            self.occupancy.push(GpuSample {
+                t: now,
+                gpu: g,
+                load: load.min(1.0),
+            });
+        }
+        for i in 0..self.pools[g].kernels.len() {
+            let member = self.pools[g].kernels[i] as usize;
+            let rate = self.pools[g].rates[i];
+            self.sync_main(member, rate, now);
+        }
+    }
+
+    /// Re-rate one PCIe link's members after a flow joined or left.
+    fn rerate_link(&mut self, g: usize, now: f64) {
+        self.links[g].res.users = self.links[g].members.len() as u32;
+        let rate = self.links[g].res.rate();
+        for i in 0..self.links[g].members.len() {
+            let (r, flow) = self.links[g].members[i];
+            match flow {
+                FlowId::Main => self.sync_main(r as usize, rate, now),
+                FlowId::Stream => self.sync_stream(r as usize, rate, now),
+            }
+        }
+    }
+
+    /// Re-rate the NIC's members after a collective joined or left.
+    fn rerate_nic(&mut self, now: f64) {
+        self.nic.res.settle(now);
+        self.nic.res.active = self.nic.members.len() as u32;
+        let rate = self.nic.res.rate();
+        for i in 0..self.nic.members.len() {
+            let member = self.nic.members[i] as usize;
+            self.sync_main(member, rate, now);
+        }
+    }
+
+    fn link_join(&mut self, g: usize, r: usize, flow: FlowId, now: f64) {
+        let key = (r as u32, flow);
+        let members = &mut self.links[g].members;
+        let at = members
+            .binary_search_by_key(&member_key(key), |&m| member_key(m))
+            .unwrap_err();
+        members.insert(at, key);
+        self.rerate_link(g, now);
+    }
+
+    fn link_leave(&mut self, g: usize, r: usize, flow: FlowId, now: f64) {
+        let key = (r as u32, flow);
+        let members = &mut self.links[g].members;
+        let at = members
+            .binary_search_by_key(&member_key(key), |&m| member_key(m))
+            .expect("leaving flow is a link member");
+        members.remove(at);
+        self.rerate_link(g, now);
+    }
+
+    /// A main-flow completion prediction fired.
+    fn complete_main(&mut self, r: usize, t: f64) {
+        // The queue entry is consumed either way.
+        {
+            let rank = &mut self.ranks[r];
+            rank.main.scheduled = false;
+            let dt = t - rank.main.settled;
+            if dt > 0.0 {
+                rank.main_remaining -= rank.main.rate * dt;
+            }
+            rank.main.settled = t;
+            if rank.main_remaining > EPS {
+                // The prediction missed by an ulp; re-aim unless the gap
+                // is below the clock's resolution at this magnitude.
+                let at = t + (rank.main_remaining / rank.main.rate).max(0.0);
+                if at > t {
+                    let completion = Completion {
+                        rank: r,
+                        flow: FlowId::Main,
+                        gen: rank.main.gen,
+                    };
+                    rank.main.scheduled = true;
+                    self.queue.push(at, completion);
+                    return;
+                }
+            }
+        }
+
+        let act = self.ranks[r].activity;
+        if self.record {
+            let (kind, gpu) = match act {
+                Act::Host => (TimelineKind::Host, None),
+                Act::Kernel { .. } => (TimelineKind::Kernel, Some(self.ranks[r].gpu)),
+                Act::Transfer => (TimelineKind::Transfer, Some(self.ranks[r].gpu)),
+                Act::Collective => (TimelineKind::Collective, None),
+                _ => unreachable!("finished implies a timed activity"),
+            };
+            self.raw_events.push(RawEvent {
+                rank: r as u32,
+                gpu,
+                label: self.ranks[r].cur_label,
+                kind,
+                start: self.ranks[r].cur_start,
+                end: t,
+            });
+        }
+
+        // Leave the finished activity's resource (re-rating the peers).
+        let g = self.ranks[r].gpu as usize;
+        match act {
+            Act::Kernel { .. } => {
+                let kernels = &mut self.pools[g].kernels;
+                let at = kernels
+                    .binary_search(&(r as u32))
+                    .expect("finished kernel is a pool member");
+                kernels.remove(at);
+                self.rerate_pool(g, t);
+            }
+            Act::Transfer => self.link_leave(g, r, FlowId::Main, t),
+            Act::Collective => {
+                let at = self
+                    .nic
+                    .members
+                    .binary_search(&(r as u32))
+                    .expect("finished collective is a NIC member");
+                self.nic.members.remove(at);
+                self.rerate_nic(t);
+            }
+            Act::Host => {}
+            _ => unreachable!("finished implies a timed activity"),
+        }
+
+        self.advance_segment(r, t);
+        self.ranks[r].cur_start = t;
+        self.finish_if_done(r, t);
+    }
+
+    /// A stream-head completion prediction fired.
+    fn complete_stream_head(&mut self, r: usize, t: f64) {
+        {
+            let rank = &mut self.ranks[r];
+            rank.stream_flow.scheduled = false;
+            let dt = t - rank.stream_flow.settled;
+            if let Some(head) = rank.stream.front_mut() {
+                if dt > 0.0 {
+                    head.0 -= rank.stream_flow.rate * dt;
+                }
+                rank.stream_flow.settled = t;
+                if head.0 > EPS {
+                    let at = t + (head.0 / rank.stream_flow.rate).max(0.0);
+                    if at > t {
+                        let completion = Completion {
+                            rank: r,
+                            flow: FlowId::Stream,
+                            gen: rank.stream_flow.gen,
+                        };
+                        rank.stream_flow.scheduled = true;
+                        self.queue.push(at, completion);
+                        return;
+                    }
+                }
+            }
+        }
+        let Some((_, label)) = self.ranks[r].stream.pop_front() else {
+            self.error = Some(EngineError::StreamUnderflow {
+                rank: self.rank_base + r,
+                flow: FlowId::Stream,
+            });
+            return;
+        };
+        if self.record {
+            self.raw_events.push(RawEvent {
+                rank: r as u32,
+                gpu: Some(self.ranks[r].gpu),
+                label,
+                kind: TimelineKind::Transfer,
+                start: self.ranks[r].stream_head_start,
+                end: t,
+            });
+        }
+        self.ranks[r].stream_head_start = t;
+        let g = self.ranks[r].gpu as usize;
+        if !self.ranks[r].stream.is_empty() {
+            // Next head takes the wire at the unchanged link rate; the
+            // consumed prediction just needs a successor.
+            let rank = &self.ranks[r];
+            let at = t + (rank.stream.front().unwrap().0 / rank.stream_flow.rate).max(0.0);
+            let completion = Completion {
+                rank: r,
+                flow: FlowId::Stream,
+                gen: rank.stream_flow.gen,
+            };
+            self.queue.push(at, completion);
+            self.ranks[r].stream_flow.scheduled = true;
+            return;
+        }
+        self.link_leave(g, r, FlowId::Stream, t);
+        if matches!(self.ranks[r].activity, Act::StreamWait) {
+            // The stream drained while the main flow was synchronising on
+            // it: record the wait and resume the segment chain.
+            if self.record && t > self.ranks[r].cur_start {
+                self.raw_events.push(RawEvent {
+                    rank: r as u32,
+                    gpu: Some(self.ranks[r].gpu),
+                    label: self.lbl_stream_sync,
+                    kind: TimelineKind::Wait,
+                    start: self.ranks[r].cur_start,
+                    end: t,
+                });
+            }
+            self.advance_segment(r, t);
+            self.ranks[r].cur_start = t;
+            self.finish_if_done(r, t);
+        }
+    }
+
+    fn finish_if_done(&mut self, r: usize, t: f64) {
+        if matches!(self.ranks[r].activity, Act::Done) && self.ranks[r].finish == 0.0 {
+            self.ranks[r].finish = t;
+        }
+    }
+
+    /// Pop the next segment of rank `r` into its activity slot and join
+    /// the segment's resource. A `Kernel` arena entry expands to a host
+    /// lead-in followed by the device part, staged through
+    /// `pending_kernel`. Under overlapped transfers, `Transfer` entries
+    /// enqueue on the rank's stream without blocking, and a kernel
+    /// synchronises on the stream first.
+    fn advance_segment(&mut self, r: usize, now: f64) {
+        if let Some(seg) = self.ranks[r].pending_kernel.take() {
+            self.start_kernel(r, seg as usize, now);
+            return;
+        }
+        loop {
+            let rank = &self.ranks[r];
+            if rank.seg_next >= rank.seg_end {
+                let rank = &mut self.ranks[r];
+                if !rank.stream.is_empty() {
+                    rank.cur_label = self.lbl_stream_sync;
+                    rank.activity = Act::StreamWait;
+                } else {
+                    rank.activity = Act::Done;
+                }
+                self.sync_main(r, 0.0, now);
+                return;
+            }
+            let seg = self.segs[rank.seg_next as usize];
+            // A kernel consumes data the stream may still be moving:
+            // synchronise before the launch (decided before consuming the
+            // segment, so the retry after the drain sees it again).
+            if self.overlap && !rank.stream.is_empty() && matches!(seg, CSeg::Kernel { .. }) {
+                let rank = &mut self.ranks[r];
+                rank.cur_label = self.lbl_stream_sync;
+                rank.activity = Act::StreamWait;
+                self.sync_main(r, 0.0, now);
+                return;
+            }
+            self.ranks[r].seg_next += 1;
+            match seg {
+                CSeg::Host { seconds, label } => {
+                    let rank = &mut self.ranks[r];
+                    rank.cur_label = label;
+                    rank.activity = Act::Host;
+                    rank.main_remaining = seconds;
+                    rank.main.settled = now;
+                    self.sync_main(r, 1.0, now);
+                    return;
+                }
+                CSeg::Kernel {
+                    lead,
+                    dispatch_label,
+                    ..
+                } => {
+                    let rank = &mut self.ranks[r];
+                    rank.pending_kernel = Some(rank.seg_next - 1);
+                    rank.cur_label = dispatch_label;
+                    rank.activity = Act::Host;
+                    rank.main_remaining = lead;
+                    rank.main.settled = now;
+                    self.sync_main(r, 1.0, now);
+                    return;
+                }
+                CSeg::Transfer { seconds, label } => {
+                    if self.overlap {
+                        let rank = &mut self.ranks[r];
+                        rank.stream.push_back((seconds, label));
+                        if rank.stream.len() == 1 {
+                            rank.stream_head_start = now;
+                            rank.stream_flow.settled = now;
+                            let g = rank.gpu as usize;
+                            self.link_join(g, r, FlowId::Stream, now);
+                        }
+                        continue;
+                    }
+                    let rank = &mut self.ranks[r];
+                    rank.cur_label = label;
+                    rank.activity = Act::Transfer;
+                    rank.main_remaining = seconds;
+                    rank.main.settled = now;
+                    let g = rank.gpu as usize;
+                    self.link_join(g, r, FlowId::Main, now);
+                    return;
+                }
+                CSeg::Collective {
+                    seconds,
+                    label,
+                    wait_label,
+                } => {
+                    let rank = &mut self.ranks[r];
+                    let seq = rank.collective_seq;
+                    rank.collective_seq += 1;
+                    rank.cur_label = label;
+                    rank.cur_start = now;
+                    rank.activity = Act::Barrier {
+                        seconds,
+                        wait_label,
+                    };
+                    self.sync_main(r, 0.0, now);
+                    self.arrived_at[seq as usize] += 1;
+                    self.waiting[seq as usize].push(r as u32);
+                    self.new_arrivals.push((seq, now));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The host lead-in of a kernel finished: put the device part on the
+    /// GPU, charging the policy's context-switch demand and stamping the
+    /// FIFO arrival.
+    fn start_kernel(&mut self, r: usize, seg: usize, now: f64) {
+        let CSeg::Kernel {
+            device_seconds,
+            util,
+            name,
+            ..
+        } = self.segs[seg]
+        else {
+            unreachable!("pending_kernel points at a kernel segment");
+        };
+        let g = self.ranks[r].gpu as usize;
+        {
+            let rank = &mut self.ranks[r];
+            rank.cur_label = name;
+            rank.activity = Act::Kernel { util };
+            rank.main_remaining = device_seconds;
+            rank.main.settled = now;
+            rank.kernel_arrival = now;
+        }
+        let ctx = GpuSchedContext {
+            calib: &self.cfg.calib.gpu,
+            load: self.pools[g].res.load,
+            clients: self.pools[g].res.clients,
+        };
+        let extra = self.policy.switch_demand(&ctx);
+        if extra > 0.0 {
+            self.ranks[r].main_remaining += extra;
+            self.pools[g].res.switch_seconds += extra;
+            if self.record {
+                self.raw_events.push(RawEvent {
+                    rank: r as u32,
+                    gpu: Some(g as u32),
+                    label: self.lbl_context_switch,
+                    kind: TimelineKind::ContextSwitch,
+                    start: now,
+                    end: now,
+                });
+            }
+        }
+        let kernels = &mut self.pools[g].kernels;
+        let at = kernels.binary_search(&(r as u32)).unwrap_err();
+        kernels.insert(at, r as u32);
+        self.rerate_pool(g, now);
+    }
+
+    /// The coordinator released barrier `seq` at global time `t`: move
+    /// every local rank waiting there into its collective network phase.
+    fn release(&mut self, seq: u32, t: f64) {
+        let Some(waiting) = self.waiting.get_mut(seq as usize) else {
+            return;
+        };
+        let waiting = std::mem::take(waiting);
+        if waiting.is_empty() {
+            return;
+        }
+        for &w in &waiting {
+            let rank = &mut self.ranks[w as usize];
+            let Act::Barrier {
+                seconds,
+                wait_label,
+            } = rank.activity
+            else {
+                unreachable!("waiting rank must be at the barrier");
+            };
+            let wait = t - rank.cur_start;
+            self.collective_wait_seconds += wait;
+            if self.record && wait > 0.0 {
+                let start = rank.cur_start;
+                self.raw_events.push(RawEvent {
+                    rank: w,
+                    gpu: None,
+                    label: wait_label,
+                    kind: TimelineKind::Wait,
+                    start,
+                    end: t,
+                });
+            }
+            let rank = &mut self.ranks[w as usize];
+            rank.activity = Act::Collective;
+            rank.main_remaining = seconds;
+            rank.main.settled = t;
+            rank.cur_start = t;
+            let at = self.nic.members.binary_search(&w).unwrap_err();
+            self.nic.members.insert(at, w);
+        }
+        self.rerate_nic(t);
     }
 }
 
-// `gpus_per_node` is carried for future per-node views of the global
-// arrays; silence the field until a consumer lands.
-impl Engine<'_> {
-    #[allow(dead_code)]
-    fn gpus_per_node(&self) -> usize {
-        self.gpus_per_node
-    }
+fn member_key(m: (u32, FlowId)) -> (u32, u8) {
+    (
+        m.0,
+        match m.1 {
+            FlowId::Main => 0,
+            FlowId::Stream => 1,
+        },
+    )
+}
+
+fn trace_len(r: &Rank) -> usize {
+    (r.seg_end - r.seg_next) as usize
 }

@@ -48,7 +48,8 @@ pub mod whatif;
 pub use calib::{CpuCalib, DeviceCalib, NetCalib, NodeCalib};
 pub use context::{Context, MemoryError};
 pub use engine::{
-    simulate_cluster, simulate_cluster_traced, ClusterResult, SchedulePolicy, SchedulePolicyKind,
+    simulate_cluster, simulate_cluster_traced, ClusterResult, EngineError, SchedulePolicy,
+    SchedulePolicyKind,
 };
 pub use node::{
     simulate_node, simulate_node_traced, GpuSample, NodeConfig, NodeOom, NodeResult, NodeTimeline,

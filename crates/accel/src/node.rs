@@ -23,7 +23,7 @@
 
 use crate::calib::NodeCalib;
 use crate::engine::sim::simulate;
-use crate::engine::SchedulePolicyKind;
+use crate::engine::{EngineError, SchedulePolicyKind};
 use crate::trace::RankTrace;
 
 /// Node configuration for a replay.
@@ -185,10 +185,11 @@ impl std::fmt::Display for NodeOom {
 impl std::error::Error for NodeOom {}
 
 /// Replay `traces` (one per rank) on a node through the discrete-event
-/// engine. Rank `r` uses GPU `r % gpus`. Returns the emergent wall time or
-/// an OOM if the combined peak footprints of the ranks sharing a GPU
-/// exceed its memory.
-pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResult, NodeOom> {
+/// engine. Rank `r` uses GPU `r % gpus`. Returns the emergent wall time
+/// or a typed [`EngineError`] — an OOM if the combined peak footprints
+/// of the ranks sharing a GPU exceed its memory, a `NonFiniteCharge` if
+/// a recorded duration is NaN or infinite.
+pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResult, EngineError> {
     let out = simulate(&[traces], cfg, false)?;
     Ok(node_result(out))
 }
@@ -198,7 +199,7 @@ pub fn simulate_node(traces: &[RankTrace], cfg: &NodeConfig) -> Result<NodeResul
 pub fn simulate_node_traced(
     traces: &[RankTrace],
     cfg: &NodeConfig,
-) -> Result<(NodeResult, NodeTimeline), NodeOom> {
+) -> Result<(NodeResult, NodeTimeline), EngineError> {
     let mut out = simulate(&[traces], cfg, true)?;
     let timeline = std::mem::take(&mut out.timeline);
     Ok((node_result(out), timeline))
@@ -452,8 +453,9 @@ mod tests {
         let cap = cfg.calib.gpu.mem_bytes;
         let t = trace_with(vec![host(1.0)], cap / 2 + 1);
         let err = simulate_node(&[t.clone(), t], &cfg).unwrap_err();
-        assert_eq!(err.gpu, 0);
-        assert!(err.demanded > cap);
+        let oom = err.as_oom().expect("memory overflow is a typed OOM");
+        assert_eq!(oom.gpu, 0);
+        assert!(oom.demanded > cap);
         // A single rank with the same footprint fits.
         let t = trace_with(vec![host(1.0)], cap / 2 + 1);
         assert!(simulate_node(&[t], &cfg).is_ok());

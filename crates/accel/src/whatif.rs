@@ -36,8 +36,8 @@ use std::path::Path;
 use crate::calib::{DeviceCalib, NetCalib, NodeCalib};
 use crate::comm::allreduce_seconds;
 use crate::context::LabelStats;
-use crate::engine::{simulate_cluster, ClusterResult, SchedulePolicyKind};
-use crate::node::{NodeConfig, NodeOom};
+use crate::engine::{simulate_cluster, ClusterResult, EngineError, SchedulePolicyKind};
+use crate::node::NodeConfig;
 use crate::profile::KernelProfile;
 use crate::trace::{RankTrace, Segment, TransferDir};
 
@@ -344,7 +344,7 @@ impl RecordedWorkload {
         node: &NodeCalib,
         net: &NetCalib,
         gpus: Option<u32>,
-    ) -> Result<Replayed, NodeOom> {
+    ) -> Result<Replayed, EngineError> {
         let repriced = self.reprice(node, net);
         let cfg = NodeConfig {
             calib: *node,
@@ -360,7 +360,7 @@ impl RecordedWorkload {
 
     /// Replay under the recorded calibration — the differential oracle:
     /// the result must reproduce the live run exactly.
-    pub fn replay_identity(&self) -> Result<Replayed, NodeOom> {
+    pub fn replay_identity(&self) -> Result<Replayed, EngineError> {
         let node = self.meta.node_calib;
         let net = self.meta.net_calib;
         self.replay(&node, &net, None)

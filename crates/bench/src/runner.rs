@@ -6,9 +6,10 @@ use accel_sim::calib::NetCalib;
 use accel_sim::comm::allreduce_seconds;
 use accel_sim::context::LabelStats;
 use accel_sim::engine::{simulate_cluster_traced, ClusterResult, SchedulePolicyKind};
-use accel_sim::node::{simulate_node_traced, NodeConfig, NodeOom};
+use accel_sim::node::{simulate_node_traced, NodeConfig};
 use accel_sim::whatif::{RecordMeta, RecordedWorkload};
 use accel_sim::Context;
+use accel_sim::EngineError;
 use rayon::prelude::*;
 use toast_core::dispatch::ImplKind;
 use toast_core::kernels::ExecCtx;
@@ -215,19 +216,24 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
         (cfg.problem.n_obs as f64 + 1.0) * collective_solo
     };
 
-    let oom_msg =
-        |NodeOom {
-             gpu,
-             demanded,
-             capacity,
-         }: NodeOom| { format!("GPU {gpu}: ranks demand {demanded} B of {capacity} B") };
+    // Engine failures become report-level error strings: OOM keeps the
+    // legacy phrasing the report snapshots expect; the other typed
+    // variants (non-finite charge, stream underflow, deadlock) surface
+    // through their Display form.
+    let sim_err_msg = |e: EngineError| match e.as_oom() {
+        Some(oom) => format!(
+            "GPU {}: ranks demand {} B of {} B",
+            oom.gpu, oom.demanded, oom.capacity
+        ),
+        None => e.to_string(),
+    };
     let (node_wall, gpu_busy, timeline, cluster) = match (rank_oom, cfg.nodes) {
         (Some(e), _) => (Err(e), Vec::new(), None, None),
         (None, None) => {
             let node_cfg = node_config(cfg, calib);
             match simulate_node_traced(&traces, &node_cfg) {
                 Ok((res, timeline)) => (Ok(res.wall_seconds), res.gpu_busy, Some(timeline), None),
-                Err(oom) => (Err(oom_msg(oom)), Vec::new(), None, None),
+                Err(e) => (Err(sim_err_msg(e)), Vec::new(), None, None),
             }
         }
         (None, Some(n)) => {
@@ -243,7 +249,7 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
                     Some(timeline),
                     Some(res),
                 ),
-                Err(oom) => (Err(oom_msg(oom)), Vec::new(), None, None),
+                Err(e) => (Err(sim_err_msg(e)), Vec::new(), None, None),
             }
         }
     };
