@@ -41,6 +41,27 @@ jq -e '
 }
 rm -f "$bench_json"
 
+echo "== sweep-throughput bench (smoke mode)"
+# Validates the batched (compile-once) vs naive sweep harness and its
+# JSON shape: both paths must report throughput, the batched path must be
+# faster, and its identity point must match the oracle bit for bit.
+sweep_json="$PWD/target/ci_bench_sweep.json"
+BENCH_SWEEP_SMOKE=1 BENCH_SWEEP_OUT="$sweep_json" \
+  cargo bench -q -p repro-bench --bench sweep >/dev/null
+jq -e '
+  .mode == "smoke"
+  and .grid_points == 120
+  and .identity_bit_identical == true
+  and (.results | length == 2)
+  and (.results | all(.points_per_sec > 0 and .iters > 0))
+  and .speedup_batched_vs_naive > 1
+' "$sweep_json" >/dev/null || {
+  echo "BENCH_sweep.json malformed:" >&2
+  cat "$sweep_json" >&2
+  exit 1
+}
+rm -f "$sweep_json"
+
 echo "== whatif record->replay differential smoke"
 # The identity replay must reproduce the recorded makespan bit for bit
 # (the repricer's differential oracle); an H100-like preset must complete
@@ -52,6 +73,15 @@ cargo run --release -p repro-bench --bin whatif -- --replay "$workload" \
   | grep "identity check: .* delta 0.000000000" >/dev/null
 cargo run --release -p repro-bench --bin whatif -- --replay "$workload" --calib h100 \
   | grep "^makespan: " >/dev/null
+
+echo "== whatif sweep smoke"
+# The batched Pareto search over the same recording: a small grid with a
+# loose deadline must evaluate points, extract a front and name a winner.
+sweep_out=$(cargo run --release -p repro-bench --bin whatif -- sweep \
+  --record "$workload" --gpus 2..4 --calib identity,h100 --deadline 1.0)
+echo "$sweep_out" | grep -E "^sweep: 6 point\(s\), " >/dev/null
+echo "$sweep_out" | grep -E "^pareto front: [1-9][0-9]* point\(s\)" >/dev/null
+echo "$sweep_out" | grep "^best under deadline " >/dev/null
 rm -f "$workload"
 
 echo "CI OK"

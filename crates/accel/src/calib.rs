@@ -268,6 +268,25 @@ impl NetCalib {
     }
 }
 
+/// A dimensionless per-node cost proxy for what-if sweeps, normalised so
+/// the paper's machine (A100 + PCIe gen4 + Slingshot-10) prices at 1.0.
+///
+/// The weights mirror how accelerator node pricing is dominated by the
+/// GPU: half the price tracks FP64 throughput, a quarter HBM bandwidth,
+/// with smaller shares for the host link and the NIC. It is deliberately
+/// coarse — the sweep optimizer only needs a *monotone* proxy to rank
+/// configurations on the cost axis of the Pareto front, not dollars.
+/// Note [`NodeCalib::rescaled`] leaves every input of this function
+/// untouched, so the proxy is work-scale-invariant.
+pub fn relative_node_price(node: &NodeCalib, net: &NetCalib) -> f64 {
+    let base_gpu = DeviceCalib::a100();
+    let base_net = NetCalib::slingshot10();
+    0.5 * (node.gpu.fp64_peak / base_gpu.fp64_peak)
+        + 0.25 * (node.gpu.hbm_bw / base_gpu.hbm_bw)
+        + 0.15 * (node.gpu.pcie_bw / base_gpu.pcie_bw)
+        + 0.1 * (net.bw / base_net.bw)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +333,37 @@ mod tests {
         let hs = h.rescaled(1e-3);
         assert_eq!(hs.gpu.mem_bytes, (80u64 << 30) / 1000);
         assert_eq!(hs.gpu.fp64_peak, DeviceCalib::h100().fp64_peak);
+    }
+
+    #[test]
+    fn node_price_is_normalised_and_ordered() {
+        let a100 = NodeCalib::default();
+        let ss10 = NetCalib::slingshot10();
+        assert_eq!(relative_node_price(&a100, &ss10), 1.0);
+        let h100 = NodeCalib {
+            gpu: DeviceCalib::h100(),
+            ..a100
+        };
+        // H100-class silicon costs a multiple of the A100 baseline but
+        // less than its raw FP64 ratio (~3.45x) — the non-GPU shares damp
+        // the proxy.
+        let h = relative_node_price(&h100, &ss10);
+        assert!(h > 2.0 && h < 3.45, "h100 price {h}");
+        // Link/NIC upgrades are cheap relative to a new GPU generation.
+        let nvl = NodeCalib {
+            gpu: DeviceCalib::a100().with_nvlink_host_link(),
+            ..a100
+        };
+        let nvl_price = relative_node_price(&nvl, &ss10);
+        assert!(
+            nvl_price > 1.0 && nvl_price < 1.5,
+            "nvlink price {nvl_price}"
+        );
+        let ss11_price = relative_node_price(&a100, &NetCalib::slingshot11());
+        assert!(ss11_price > 1.0 && ss11_price < nvl_price);
+        // Work-scale rescaling must not move the price (ratios of runs at
+        // different scales stay comparable).
+        assert_eq!(relative_node_price(&h100.rescaled(1e-3), &ss10), h);
     }
 
     #[test]

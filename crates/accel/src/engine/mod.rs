@@ -15,10 +15,12 @@
 //! membership changes, with bounded staleness — the calendar queue in
 //! [`event`] compacts itself when stale entries outnumber live ones).
 //! Traces are compiled to a flat per-node segment arena with interned
-//! labels before the loop starts, accounting is settled lazily per
-//! resource, and nodes are stepped as independent shards between
-//! collective barriers, so the loop is allocation-free and touches only
-//! what each event changes. Replays are deterministic — independent of
+//! labels before the loop starts — split into calibration-invariant
+//! recorded quantities and a per-calibration cost table, so one compile
+//! can be replayed under many calibrations (the [`mod@crate::sweep`] hot
+//! path) — accounting is settled lazily per resource, and nodes are
+//! stepped as independent shards between collective barriers, so the
+//! loop is allocation-free and touches only what each event changes. Replays are deterministic — independent of
 //! shard scheduling — and, for the legacy single-node configurations,
 //! match the analytic replay they replaced to ≤ 1e-9.
 //!

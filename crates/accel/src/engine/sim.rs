@@ -21,11 +21,18 @@
 //! The loop is built to run allocation-free after setup and to touch
 //! only what an event changes:
 //!
-//! * **Compiled segment arena.** Each node's traces are compiled once
-//!   into a flat `Vec<CSeg>` of plain-old-data segments — costs
-//!   precomputed from the calibration, labels interned as [`LabelId`]s —
-//!   so the loop never chases `String`s or recomputes kernel models.
-//!   Charges are validated finite here; a NaN duration is a typed
+//! * **Compiled segment arena, split by calibration dependence.** The
+//!   traces are compiled once into a [`CompiledWorkload`]: a flat
+//!   `Vec<QSeg>` of calibration-*invariant* quantities (byte counts,
+//!   work-item counts, recorded charges) with every label interned as a
+//!   [`LabelId`], plus the per-node segment ranges and barrier topology.
+//!   A cheap second pass ([`CompiledWorkload::cost_table`]) materializes
+//!   a `Vec<CSeg>` of plain-old-data *costs* for one calibration, so a
+//!   what-if sweep compiles the workload once and prices each grid point
+//!   with a small cost vector — no `String` re-interning, no segment
+//!   graph re-allocation. The loop never chases `String`s or recomputes
+//!   kernel models. Recorded charges are validated finite at compile and
+//!   derived costs at table time; a NaN duration is a typed
 //!   [`EngineError::NonFiniteCharge`], not a silently-bogus makespan.
 //! * **Settle-on-change flows.** A flow's `remaining` is only brought up
 //!   to date (`remaining -= rate · Δt`) when its rate is about to change
@@ -61,11 +68,14 @@ use std::collections::VecDeque;
 
 use rayon::prelude::*;
 
+use crate::calib::{DeviceCalib, NetCalib};
+use crate::comm::allreduce_seconds;
 use crate::engine::error::EngineError;
 use crate::engine::event::{Completion, EventQueue, FlowId};
 use crate::engine::policy::{GpuSchedContext, KernelReq, SchedulePolicy};
 use crate::engine::resources::{Nic, PcieLink, SmPool};
 use crate::node::{GpuSample, NodeConfig, NodeOom, NodeTimeline, TimelineEvent, TimelineKind};
+use crate::profile::{device_seconds_raw, solo_utilization_raw};
 use crate::trace::{LabelId, LabelTable, RankTrace, Segment};
 
 /// Completion tolerance on a flow's remaining demand (matches the
@@ -101,10 +111,364 @@ impl SimOutput {
     }
 }
 
-/// A compiled segment: every cost precomputed against the calibration,
-/// every label interned. Plain old data — the arena is a flat `Vec`.
+/// A calibration-*invariant* compiled segment: the raw recorded
+/// quantities of one [`Segment`], labels interned, `String`s gone.
+/// [`CompiledWorkload::compile`] builds these once per workload;
+/// [`CompiledWorkload::cost_table`] prices them into [`CSeg`]s per
+/// calibration.
 #[derive(Debug, Clone, Copy)]
-enum CSeg {
+pub(crate) enum QSeg {
+    /// Host work. `alloc` marks a recorded device-allocation charge,
+    /// which reprices by the allocator-latency ratio instead of the CPU
+    /// throughput ratio (mirrors the whatif repricer).
+    Host {
+        seconds: f64,
+        alloc: bool,
+        label: LabelId,
+    },
+    /// A kernel work descriptor (the [`crate::profile::KernelProfile`]
+    /// quantities) plus its recorded dispatch overhead.
+    Kernel {
+        items: f64,
+        flops_per_item: f64,
+        bytes_per_item: f64,
+        divergence: f64,
+        dispatch: f64,
+        name: LabelId,
+        dispatch_label: LabelId,
+    },
+    /// A PCIe transfer's payload.
+    Transfer { bytes: f64, label: LabelId },
+    /// A collective's recorded solo cost and payload.
+    Collective {
+        seconds: f64,
+        bytes: f64,
+        label: LabelId,
+        wait_label: LabelId,
+    },
+}
+
+/// Per-rank replay metadata, calibration-invariant.
+#[derive(Debug, Clone)]
+pub(crate) struct CRank {
+    /// Node-local arena range: this rank replays
+    /// `node_segs[seg_start..seg_end]`.
+    pub(crate) seg_start: u32,
+    pub(crate) seg_end: u32,
+    pub(crate) collectives_total: u32,
+    pub(crate) peak_device_bytes: u64,
+}
+
+/// One node's slice of the flat arena plus its barrier structure.
+#[derive(Debug, Clone)]
+pub(crate) struct CNode {
+    /// Offset of this node's segments in the flat arena.
+    pub(crate) seg_base: usize,
+    pub(crate) seg_len: usize,
+    pub(crate) ranks: Vec<CRank>,
+    /// Local participants per barrier seq (ranks with more collective
+    /// segments than the seq index).
+    pub(crate) local_expected: Vec<u32>,
+    /// Convergence guard for the event loop, sized from the trace.
+    pub(crate) step_limit: usize,
+}
+
+/// A workload compiled once into the calibration-invariant arena: the
+/// segment graph, interned labels and per-node/per-rank topology that
+/// every sweep point shares. Pricing a calibration against it
+/// ([`CompiledWorkload::cost_table`]) touches no `String` and allocates
+/// only the flat cost vector.
+#[derive(Debug)]
+pub(crate) struct CompiledWorkload {
+    pub(crate) labels: LabelTable,
+    qsegs: Vec<QSeg>,
+    /// Provenance of each arena entry — `(global rank, original segment
+    /// index)` — so cost-table errors report the recorded segment.
+    src: Vec<(u32, u32)>,
+    pub(crate) nodes: Vec<CNode>,
+    lbl_stream_sync: LabelId,
+    lbl_context_switch: LabelId,
+}
+
+/// How record-time-priced charges (host seconds, allocation latency,
+/// collective solo cost) are rescaled when a cost table is materialized.
+/// Mirrors [`crate::whatif::RecordedWorkload::reprice`] term for term so
+/// a sweep point and a standalone replay of the same calibration produce
+/// bit-identical cost tables.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Reprice {
+    /// Keep the compiled charges untouched (the live path, and bitwise
+    /// exact for it).
+    Identity,
+    /// Rescale for a what-if calibration.
+    Scaled {
+        /// Recorded / target CPU per-core throughput.
+        host_ratio: f64,
+        /// Target / recorded allocator latency.
+        alloc_ratio: f64,
+        /// Network the collective charges were priced with.
+        recorded_net: NetCalib,
+        /// Network to reprice them for.
+        net: NetCalib,
+        /// Ranks the analytic collective formula was priced for.
+        total_ranks: u32,
+    },
+}
+
+impl CompiledWorkload {
+    /// Compile traces (one slice per node) into the flat arena: intern
+    /// every label, validate every recorded quantity finite, capture the
+    /// per-rank segment ranges and barrier topology.
+    pub(crate) fn compile(node_traces: &[&[RankTrace]]) -> Result<Self, EngineError> {
+        let mut labels = LabelTable::default();
+        let lbl_stream_sync = labels.intern("stream_sync");
+        let lbl_context_switch = labels.intern("context_switch");
+        let lbl_alloc = labels.intern("accel_data_alloc");
+
+        // `<name>/dispatch` labels, cached by the kernel name's label id:
+        // building the string once per distinct kernel instead of once per
+        // kernel segment keeps the compile pass allocation-light.
+        let mut dispatch_labels: Vec<Option<LabelId>> = Vec::new();
+
+        let total: usize = node_traces
+            .iter()
+            .flat_map(|n| n.iter())
+            .map(|t| t.segments.len())
+            .sum();
+        let mut qsegs: Vec<QSeg> = Vec::with_capacity(total);
+        let mut src: Vec<(u32, u32)> = Vec::with_capacity(total);
+        let mut nodes: Vec<CNode> = Vec::with_capacity(node_traces.len());
+        let mut rank_base = 0usize;
+        for traces in node_traces {
+            let seg_base = qsegs.len();
+            let mut ranks: Vec<CRank> = Vec::with_capacity(traces.len());
+            for (local, trace) in traces.iter().enumerate() {
+                let seg_start = (qsegs.len() - seg_base) as u32;
+                let mut collectives = 0u32;
+                for (i, seg) in trace.segments.iter().enumerate() {
+                    let check = |value: f64| -> Result<f64, EngineError> {
+                        if value.is_finite() {
+                            Ok(value)
+                        } else {
+                            Err(EngineError::NonFiniteCharge {
+                                rank: rank_base + local,
+                                segment: i,
+                                label: seg.label().to_string(),
+                                value,
+                            })
+                        }
+                    };
+                    let q = match seg {
+                        Segment::Host { seconds, label } => {
+                            if check(*seconds)? <= 0.0 {
+                                continue;
+                            }
+                            QSeg::Host {
+                                seconds: *seconds,
+                                alloc: false,
+                                label: labels.intern(label),
+                            }
+                        }
+                        Segment::Kernel { profile, dispatch } => {
+                            let name = labels.intern(&profile.name);
+                            if dispatch_labels.len() <= name.index() {
+                                dispatch_labels.resize(name.index() + 1, None);
+                            }
+                            let dispatch_label =
+                                *dispatch_labels[name.index()].get_or_insert_with(|| {
+                                    labels.intern(&format!("{}/dispatch", profile.name))
+                                });
+                            QSeg::Kernel {
+                                items: check(profile.items)?,
+                                flops_per_item: check(profile.flops_per_item)?,
+                                bytes_per_item: check(profile.bytes_per_item)?,
+                                divergence: check(profile.divergence)?,
+                                dispatch: check(*dispatch)?,
+                                name,
+                                dispatch_label,
+                            }
+                        }
+                        Segment::Transfer { bytes, label, .. } => QSeg::Transfer {
+                            bytes: check(*bytes)?,
+                            label: labels.intern(label),
+                        },
+                        Segment::DeviceAlloc { seconds } => {
+                            if check(*seconds)? <= 0.0 {
+                                continue;
+                            }
+                            QSeg::Host {
+                                seconds: *seconds,
+                                alloc: true,
+                                label: lbl_alloc,
+                            }
+                        }
+                        Segment::Collective {
+                            seconds,
+                            bytes,
+                            label,
+                        } => {
+                            collectives += 1;
+                            QSeg::Collective {
+                                seconds: check(*seconds)?,
+                                bytes: check(*bytes)?,
+                                label: labels.intern(label),
+                                wait_label: labels.intern(&format!("{label}/wait")),
+                            }
+                        }
+                    };
+                    qsegs.push(q);
+                    src.push(((rank_base + local) as u32, i as u32));
+                }
+                ranks.push(CRank {
+                    seg_start,
+                    seg_end: (qsegs.len() - seg_base) as u32,
+                    collectives_total: collectives,
+                    peak_device_bytes: trace.peak_device_bytes,
+                });
+            }
+            let max_local_seq =
+                ranks.iter().map(|r| r.collectives_total).max().unwrap_or(0) as usize;
+            let local_expected: Vec<u32> = (0..max_local_seq)
+                .map(|s| {
+                    ranks
+                        .iter()
+                        .filter(|r| r.collectives_total as usize > s)
+                        .count() as u32
+                })
+                .collect();
+            let step_limit = 20
+                * ranks
+                    .iter()
+                    .map(|r| (r.seg_end - r.seg_start) as usize + 2)
+                    .sum::<usize>()
+                + 1000;
+            rank_base += traces.len();
+            nodes.push(CNode {
+                seg_base,
+                seg_len: qsegs.len() - seg_base,
+                ranks,
+                local_expected,
+                step_limit,
+            });
+        }
+        Ok(Self {
+            labels,
+            qsegs,
+            src,
+            nodes,
+            lbl_stream_sync,
+            lbl_context_switch,
+        })
+    }
+
+    /// Number of compiled arena entries (= cost-table length).
+    pub(crate) fn segment_count(&self) -> usize {
+        self.qsegs.len()
+    }
+
+    /// Materialize the per-calibration cost table: one [`CSeg`] per arena
+    /// entry, kernel and transfer costs priced from `gpu`, record-time
+    /// charges rescaled per `reprice`. Every derived cost is validated
+    /// finite — a broken calibration cannot smuggle NaN into the replay.
+    pub(crate) fn cost_table(
+        &self,
+        gpu: &DeviceCalib,
+        reprice: &Reprice,
+    ) -> Result<Vec<CSeg>, EngineError> {
+        let mut costs: Vec<CSeg> = Vec::with_capacity(self.qsegs.len());
+        for (idx, q) in self.qsegs.iter().enumerate() {
+            let check = |value: f64, label: LabelId| -> Result<f64, EngineError> {
+                if value.is_finite() {
+                    Ok(value)
+                } else {
+                    let (rank, segment) = self.src[idx];
+                    Err(EngineError::NonFiniteCharge {
+                        rank: rank as usize,
+                        segment: segment as usize,
+                        label: self.labels.resolve(label).to_string(),
+                        value,
+                    })
+                }
+            };
+            let c = match *q {
+                QSeg::Host {
+                    seconds,
+                    alloc,
+                    label,
+                } => {
+                    let seconds = match reprice {
+                        Reprice::Identity => seconds,
+                        Reprice::Scaled {
+                            host_ratio,
+                            alloc_ratio,
+                            ..
+                        } => seconds * if alloc { *alloc_ratio } else { *host_ratio },
+                    };
+                    CSeg::Host {
+                        seconds: check(seconds, label)?,
+                        label,
+                    }
+                }
+                QSeg::Kernel {
+                    items,
+                    flops_per_item,
+                    bytes_per_item,
+                    divergence,
+                    dispatch,
+                    name,
+                    dispatch_label,
+                } => CSeg::Kernel {
+                    lead: check((dispatch + gpu.launch_latency).max(1e-12), name)?,
+                    device_seconds: check(
+                        device_seconds_raw(items, flops_per_item, bytes_per_item, divergence, gpu),
+                        name,
+                    )?,
+                    util: check(solo_utilization_raw(items, gpu).max(1e-6), name)?,
+                    name,
+                    dispatch_label,
+                },
+                QSeg::Transfer { bytes, label } => CSeg::Transfer {
+                    seconds: check(gpu.pcie_latency + bytes / gpu.pcie_bw, label)?,
+                    label,
+                },
+                QSeg::Collective {
+                    seconds,
+                    bytes,
+                    label,
+                    wait_label,
+                } => {
+                    let seconds = match reprice {
+                        Reprice::Identity => seconds,
+                        Reprice::Scaled {
+                            recorded_net,
+                            net,
+                            total_ranks,
+                            ..
+                        } => {
+                            let was = allreduce_seconds(recorded_net, *total_ranks, bytes);
+                            let now = allreduce_seconds(net, *total_ranks, bytes);
+                            let ratio = if was > 0.0 { now / was } else { 1.0 };
+                            seconds * ratio
+                        }
+                    };
+                    CSeg::Collective {
+                        seconds: check(seconds, label)?,
+                        label,
+                        wait_label,
+                    }
+                }
+            };
+            costs.push(c);
+        }
+        Ok(costs)
+    }
+}
+
+/// A priced segment: every cost precomputed against one calibration,
+/// every label interned. Plain old data — the cost table is a flat `Vec`
+/// aligned 1:1 with the [`QSeg`] arena.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CSeg {
     /// Host work (including device-alloc latency) at rate 1.
     Host { seconds: f64, label: LabelId },
     /// A kernel: host lead-in (dispatch + launch latency), then
@@ -181,8 +545,6 @@ struct Rank {
     kernel_arrival: f64,
     /// Index of the next collective segment this rank will join.
     collective_seq: u32,
-    /// Total collective segments in this rank's trace.
-    collectives_total: u32,
     /// FIFO of asynchronous transfers (head is on the link):
     /// `(remaining link-seconds, label)`.
     stream: VecDeque<(f64, LabelId)>,
@@ -251,7 +613,8 @@ struct Shard<'a> {
     cfg: &'a NodeConfig,
     record: bool,
     overlap: bool,
-    segs: Vec<CSeg>,
+    /// This node's slice of the materialized cost table.
+    segs: &'a [CSeg],
     ranks: Vec<Rank>,
     pools: Vec<PoolState>,
     links: Vec<LinkState>,
@@ -260,8 +623,9 @@ struct Shard<'a> {
     now: f64,
     collective_wait_seconds: f64,
     /// Local participants per barrier seq (ranks with more collectives
-    /// than the seq index).
-    local_expected: Vec<u32>,
+    /// than the seq index) — read-only topology, borrowed from the
+    /// compiled workload.
+    local_expected: &'a [u32],
     /// Local arrivals per barrier seq so far.
     arrived_at: Vec<u32>,
     /// Local ranks waiting at each barrier seq, arrival order.
@@ -288,17 +652,34 @@ pub(crate) fn simulate(
     cfg: &NodeConfig,
     record: bool,
 ) -> Result<SimOutput, EngineError> {
+    let compiled = CompiledWorkload::compile(node_traces)?;
+    let costs = compiled.cost_table(&cfg.calib.gpu, &Reprice::Identity)?;
+    simulate_compiled(&compiled, &costs, cfg, record)
+}
+
+/// Replay an already-compiled workload against a materialized cost
+/// table — the sweep hot path: the arena, labels and topology in
+/// `compiled` are shared across calls; only `costs` and the per-shard
+/// runtime state are per-point.
+pub(crate) fn simulate_compiled(
+    compiled: &CompiledWorkload,
+    costs: &[CSeg],
+    cfg: &NodeConfig,
+    record: bool,
+) -> Result<SimOutput, EngineError> {
+    debug_assert_eq!(costs.len(), compiled.segment_count());
     let gpus = cfg.gpus.max(1) as usize;
 
     // Memory feasibility per physical GPU: peak footprints of co-located
     // ranks must fit.
-    for (n, traces) in node_traces.iter().enumerate() {
+    for (n, node) in compiled.nodes.iter().enumerate() {
         for g in 0..gpus {
-            let demanded: u64 = traces
+            let demanded: u64 = node
+                .ranks
                 .iter()
                 .enumerate()
                 .filter(|(r, _)| r % gpus == g)
-                .map(|(_, t)| t.peak_device_bytes)
+                .map(|(_, cr)| cr.peak_device_bytes)
                 .sum();
             if demanded > cfg.calib.gpu.mem_bytes {
                 return Err(EngineError::Oom(NodeOom {
@@ -310,13 +691,21 @@ pub(crate) fn simulate(
         }
     }
 
-    let mut labels = LabelTable::default();
-    let mut shards: Vec<Shard<'_>> = Vec::with_capacity(node_traces.len());
+    let mut shards: Vec<Shard<'_>> = Vec::with_capacity(compiled.nodes.len());
     let mut rank_base = 0usize;
-    for (n, traces) in node_traces.iter().enumerate() {
-        let shard = Shard::compile(traces, rank_base, n * gpus, cfg, record, &mut labels)?;
-        rank_base += traces.len();
-        shards.push(shard);
+    for (n, node) in compiled.nodes.iter().enumerate() {
+        let segs = &costs[node.seg_base..node.seg_base + node.seg_len];
+        shards.push(Shard::new(
+            node,
+            segs,
+            rank_base,
+            n * gpus,
+            cfg,
+            record,
+            compiled.lbl_stream_sync,
+            compiled.lbl_context_switch,
+        ));
+        rank_base += node.ranks.len();
     }
     // Barrier groups: collective `s` involves every rank whose trace
     // contains more than `s` collective segments, so symmetric jobs
@@ -389,7 +778,7 @@ pub(crate) fn simulate(
         next_seq += 1;
     }
 
-    Ok(merge_output(shards, &labels, record))
+    Ok(merge_output(shards, &compiled.labels, record))
 }
 
 fn blocked_ranks(shards: &[Shard<'_>]) -> usize {
@@ -438,104 +827,27 @@ fn merge_output(shards: Vec<Shard<'_>>, labels: &LabelTable, record: bool) -> Si
 }
 
 impl<'a> Shard<'a> {
-    /// Compile one node's traces into the segment arena, validating every
-    /// charge finite (`rank_base` globalises rank indices in errors).
-    fn compile(
-        traces: &'a [RankTrace],
+    /// Instantiate one node's sub-simulation over its slice of a
+    /// materialized cost table (`rank_base` globalises rank indices).
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        node: &'a CNode,
+        segs: &'a [CSeg],
         rank_base: usize,
         gpu_base: usize,
         cfg: &'a NodeConfig,
         record: bool,
-        labels: &mut LabelTable,
-    ) -> Result<Self, EngineError> {
+        lbl_stream_sync: LabelId,
+        lbl_context_switch: LabelId,
+    ) -> Self {
         let gpus = cfg.gpus.max(1) as usize;
-        let lbl_stream_sync = labels.intern("stream_sync");
-        let lbl_context_switch = labels.intern("context_switch");
-        let lbl_alloc = labels.intern("accel_data_alloc");
-        let gcal = &cfg.calib.gpu;
-
-        // `<name>/dispatch` labels, cached by the kernel name's label id:
-        // building the string once per distinct kernel instead of once per
-        // kernel segment keeps the compile pass allocation-light.
-        let mut dispatch_labels: Vec<Option<LabelId>> = Vec::new();
-
-        let mut segs: Vec<CSeg> = Vec::with_capacity(traces.iter().map(|t| t.segments.len()).sum());
-        let mut ranks: Vec<Rank> = Vec::with_capacity(traces.len());
-        for (local, trace) in traces.iter().enumerate() {
-            let seg_start = segs.len() as u32;
-            let mut collectives = 0u32;
-            for (i, seg) in trace.segments.iter().enumerate() {
-                let check = |value: f64| -> Result<f64, EngineError> {
-                    if value.is_finite() {
-                        Ok(value)
-                    } else {
-                        Err(EngineError::NonFiniteCharge {
-                            rank: rank_base + local,
-                            segment: i,
-                            label: seg.label().to_string(),
-                            value,
-                        })
-                    }
-                };
-                match seg {
-                    Segment::Host { seconds, label } => {
-                        if check(*seconds)? > 0.0 {
-                            segs.push(CSeg::Host {
-                                seconds: *seconds,
-                                label: labels.intern(label),
-                            });
-                        }
-                    }
-                    Segment::Kernel { profile, dispatch } => {
-                        let lead = (check(*dispatch)? + gcal.launch_latency).max(1e-12);
-                        let name = labels.intern(&profile.name);
-                        if dispatch_labels.len() <= name.index() {
-                            dispatch_labels.resize(name.index() + 1, None);
-                        }
-                        let dispatch_label =
-                            *dispatch_labels[name.index()].get_or_insert_with(|| {
-                                labels.intern(&format!("{}/dispatch", profile.name))
-                            });
-                        segs.push(CSeg::Kernel {
-                            lead,
-                            device_seconds: check(profile.device_seconds(gcal))?,
-                            util: check(profile.solo_utilization(gcal).max(1e-6))?,
-                            name,
-                            dispatch_label,
-                        });
-                    }
-                    Segment::Transfer { bytes, label, .. } => {
-                        segs.push(CSeg::Transfer {
-                            seconds: gcal.pcie_latency + check(*bytes)? / gcal.pcie_bw,
-                            label: labels.intern(label),
-                        });
-                    }
-                    Segment::DeviceAlloc { seconds } => {
-                        if check(*seconds)? > 0.0 {
-                            segs.push(CSeg::Host {
-                                seconds: *seconds,
-                                label: lbl_alloc,
-                            });
-                        }
-                    }
-                    Segment::Collective {
-                        seconds,
-                        bytes,
-                        label,
-                    } => {
-                        check(*bytes)?;
-                        collectives += 1;
-                        segs.push(CSeg::Collective {
-                            seconds: check(*seconds)?,
-                            label: labels.intern(label),
-                            wait_label: labels.intern(&format!("{label}/wait")),
-                        });
-                    }
-                }
-            }
-            ranks.push(Rank {
-                seg_next: seg_start,
-                seg_end: segs.len() as u32,
+        let ranks: Vec<Rank> = node
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(local, cr)| Rank {
+                seg_next: cr.seg_start,
+                seg_end: cr.seg_end,
                 activity: Act::Done,
                 finish: 0.0,
                 pending_kernel: None,
@@ -544,14 +856,13 @@ impl<'a> Shard<'a> {
                 gpu: (local % gpus) as u32,
                 kernel_arrival: 0.0,
                 collective_seq: 0,
-                collectives_total: collectives,
                 stream: VecDeque::new(),
                 stream_head_start: 0.0,
                 main_remaining: 0.0,
                 main: Flow::default(),
                 stream_flow: Flow::default(),
-            });
-        }
+            })
+            .collect();
 
         let mut pools: Vec<PoolState> = (0..gpus)
             .map(|_| PoolState {
@@ -565,19 +876,8 @@ impl<'a> Shard<'a> {
             pools[r.gpu as usize].res.clients += 1;
         }
 
-        let max_local_seq = ranks.iter().map(|r| r.collectives_total).max().unwrap_or(0) as usize;
-        let local_expected: Vec<u32> = (0..max_local_seq)
-            .map(|s| {
-                ranks
-                    .iter()
-                    .filter(|r| r.collectives_total as usize > s)
-                    .count() as u32
-            })
-            .collect();
-
-        let step_limit = 20 * ranks.iter().map(|r| trace_len(r) + 2).sum::<usize>() + 1000;
-
-        Ok(Self {
+        let barriers = node.local_expected.len();
+        Self {
             rank_base,
             gpu_base,
             policy: cfg.schedule.resolve(cfg.mps),
@@ -600,18 +900,18 @@ impl<'a> Shard<'a> {
             queue: EventQueue::new(),
             now: 0.0,
             collective_wait_seconds: 0.0,
-            arrived_at: vec![0; max_local_seq],
-            waiting: vec![Vec::new(); max_local_seq],
-            local_expected,
+            arrived_at: vec![0; barriers],
+            waiting: vec![Vec::new(); barriers],
+            local_expected: &node.local_expected,
             new_arrivals: Vec::new(),
             raw_events: Vec::new(),
             occupancy: Vec::new(),
             lbl_stream_sync,
             lbl_context_switch,
             steps: 0,
-            step_limit,
+            step_limit: node.step_limit,
             error: None,
-        })
+        }
     }
 
     /// Start every rank's first activity at t = 0.
@@ -1182,8 +1482,4 @@ fn member_key(m: (u32, FlowId)) -> (u32, u8) {
             FlowId::Stream => 1,
         },
     )
-}
-
-fn trace_len(r: &Rank) -> usize {
-    (r.seg_end - r.seg_next) as usize
 }

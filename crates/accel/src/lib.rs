@@ -35,6 +35,10 @@
 //! later re-priced under a different calibration without re-running any
 //! numerics: [`whatif`] serializes the charges as JSONL and replays them
 //! through the engine under H100-like, NVLink-like or faster-NIC presets.
+//! [`mod@sweep`] batches that: one compile of the recorded workload serves an
+//! entire calibration × GPU-count × schedule grid (each point materializes
+//! only a per-calibration cost vector), with lower-bound pruning against a
+//! deadline and Pareto-front extraction over makespan vs hardware cost.
 
 pub mod calib;
 pub mod comm;
@@ -42,6 +46,7 @@ pub mod context;
 pub mod engine;
 pub mod node;
 pub mod profile;
+pub mod sweep;
 pub mod trace;
 pub mod whatif;
 
@@ -56,5 +61,6 @@ pub use node::{
     TimelineEvent, TimelineKind,
 };
 pub use profile::KernelProfile;
+pub use sweep::{sweep, SweepCalib, SweepPoint, SweepResult, SweepSpec};
 pub use trace::{RankTrace, Segment, SpanEvent, SpanKind, TransferDir};
-pub use whatif::{RecordMeta, RecordedWorkload, Replayed, WhatifCalib, WhatifError};
+pub use whatif::{RecordMeta, RecordedWorkload, Replayed, UnknownPreset, WhatifCalib, WhatifError};

@@ -53,9 +53,13 @@ impl KernelProfile {
     /// roofline maximum of compute time and memory time, inflated by
     /// divergence on the compute axis.
     pub fn device_seconds(&self, gpu: &DeviceCalib) -> f64 {
-        let compute = self.total_flops() / gpu.fp64_peak * self.divergence;
-        let memory = self.total_bytes() / gpu.hbm_bw;
-        compute.max(memory)
+        device_seconds_raw(
+            self.items,
+            self.flops_per_item,
+            self.bytes_per_item,
+            self.divergence,
+            gpu,
+        )
     }
 
     /// The fraction of the device this kernel can occupy on its own:
@@ -63,7 +67,7 @@ impl KernelProfile {
     /// cannot fill it, which is the mechanism behind the paper's
     /// oversubscription benefit (two processes per GPU beat one).
     pub fn solo_utilization(&self, gpu: &DeviceCalib) -> f64 {
-        (self.items / gpu.saturation_items).min(1.0)
+        solo_utilization_raw(self.items, gpu)
     }
 
     /// Wall-clock seconds when this kernel runs alone on the device.
@@ -88,6 +92,28 @@ impl KernelProfile {
         let memory = self.total_bytes() / eff_bw * team;
         compute.max(memory)
     }
+}
+
+/// The roofline device-time cost from raw quantities, shared between the
+/// live [`KernelProfile`] path and the engine's compiled cost tables so the
+/// two produce bitwise-identical charges for the same inputs.
+#[inline]
+pub(crate) fn device_seconds_raw(
+    items: f64,
+    flops_per_item: f64,
+    bytes_per_item: f64,
+    divergence: f64,
+    gpu: &DeviceCalib,
+) -> f64 {
+    let compute = items * flops_per_item / gpu.fp64_peak * divergence;
+    let memory = items * bytes_per_item / gpu.hbm_bw;
+    compute.max(memory)
+}
+
+/// Solo occupancy from raw quantities; see [`KernelProfile::solo_utilization`].
+#[inline]
+pub(crate) fn solo_utilization_raw(items: f64, gpu: &DeviceCalib) -> f64 {
+    (items / gpu.saturation_items).min(1.0)
 }
 
 #[cfg(test)]

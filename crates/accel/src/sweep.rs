@@ -1,0 +1,813 @@
+//! Batched what-if optimization: *compile once, reprice many*.
+//!
+//! A [`crate::whatif::RecordedWorkload`] answers one "what would this run
+//! cost on that hardware?" question per replay. The paper's real question
+//! — which framework/hardware combination wins, and by what factor — is a
+//! *search* over calibration space, and answering it point-by-point pays
+//! the full workload compile (JSONL parse, `String` interning, segment
+//! graph allocation) once per grid point. This module amortises all of
+//! that:
+//!
+//! 1. the workload is compiled **once** into the engine's
+//!    calibration-invariant arena (segment graph, interned labels,
+//!    resource topology, byte/grid quantities);
+//! 2. each distinct calibration materializes only a flat cost vector
+//!    against that arena (`cost_table`), shared across every GPU count
+//!    and schedule policy of the grid;
+//! 3. each grid point replays through the discrete-event engine with a
+//!    borrowed arena + cost table — no per-point allocation of either.
+//!
+//! On top of the hot path sit three optimizer features:
+//!
+//! * an **analytic lower bound** per point (critical path vs total work,
+//!   see `lower_bound`) that prunes points provably unable to meet a
+//!   `--deadline` without replaying them;
+//! * **Pareto-front extraction** over (makespan, cost), where cost is a
+//!   hardware price proxy ([`crate::calib::relative_node_price`]) times
+//!   node-hours;
+//! * a **deterministic fan-out**: points are evaluated in parallel (the
+//!   rayon facade) but each writes only its own pre-allocated slot, and
+//!   all reductions walk points in grid order, so sweep output is
+//!   byte-identical across `RAYON_NUM_THREADS` settings — the same
+//!   contract the engine's determinism suite locks.
+//!
+//! Repricing inside the cost table mirrors
+//! [`crate::whatif::RecordedWorkload::reprice`] term for term, so a grid
+//! point containing the identity calibration is **bit-identical** to
+//! [`crate::whatif::RecordedWorkload::replay_identity`], and any preset
+//! point is bit-identical to a standalone `replay` of that preset — the
+//! differential oracle extended to the batched path.
+
+use rayon::prelude::*;
+
+use crate::calib::{relative_node_price, NetCalib, NodeCalib};
+use crate::engine::sim::{simulate_compiled, CSeg, CompiledWorkload, Reprice};
+use crate::engine::{EngineError, SchedulePolicyKind};
+use crate::node::NodeConfig;
+use crate::trace::RankTrace;
+use crate::whatif::{esc, num, preset, presets, RecordMeta, RecordedWorkload, UnknownPreset};
+
+/// One calibration axis value of a sweep grid: a resolved node + network
+/// calibration under a CLI-visible name (`identity` or a preset name),
+/// already rescaled to the recording's `work_scale`.
+#[derive(Debug, Clone)]
+pub struct SweepCalib {
+    /// `identity` or a preset name — the label reports and JSONL carry.
+    pub name: String,
+    /// Node calibration to price kernels/transfers with.
+    pub node: NodeCalib,
+    /// Network calibration to reprice collectives with.
+    pub net: NetCalib,
+}
+
+impl SweepCalib {
+    /// Resolve a CLI name against the recording: `identity` means "the
+    /// recorded calibration", anything else is a preset rescaled by the
+    /// recording's `work_scale` (presets are defined at paper scale).
+    pub fn resolve(name: &str, meta: &RecordMeta) -> Result<Self, UnknownPreset> {
+        if name == "identity" {
+            return Ok(Self {
+                name: name.to_string(),
+                node: meta.node_calib,
+                net: meta.net_calib,
+            });
+        }
+        let p = preset(name)?;
+        Ok(Self {
+            name: name.to_string(),
+            node: p.node.rescaled(meta.work_scale),
+            net: p.net,
+        })
+    }
+}
+
+/// The grid a sweep evaluates: every combination of calibration × GPUs
+/// per node × schedule policy, optionally under a makespan deadline.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    pub calibs: Vec<SweepCalib>,
+    pub gpus: Vec<u32>,
+    pub schedules: Vec<SchedulePolicyKind>,
+    /// Makespan budget in seconds: points whose analytic lower bound
+    /// already exceeds it are pruned without a replay, and
+    /// [`SweepResult::best_under_deadline`] picks the cheapest point that
+    /// meets it.
+    pub deadline: Option<f64>,
+}
+
+impl SweepSpec {
+    /// The default grid for a recording: identity plus every preset on
+    /// the calibration axis, the recorded GPU count and schedule on the
+    /// other two, no deadline.
+    pub fn default_grid(meta: &RecordMeta) -> Self {
+        let mut calibs = vec![SweepCalib {
+            name: "identity".into(),
+            node: meta.node_calib,
+            net: meta.net_calib,
+        }];
+        for p in presets() {
+            calibs.push(SweepCalib {
+                name: p.name.to_string(),
+                node: p.node.rescaled(meta.work_scale),
+                net: p.net,
+            });
+        }
+        Self {
+            calibs,
+            gpus: vec![meta.gpus],
+            schedules: vec![meta.schedule],
+            deadline: None,
+        }
+    }
+
+    /// Parse a `key=value;key=value` grid spec
+    /// (`gpus=1,2,4..8;calib=identity,h100;schedule=mps,fifo`).
+    /// Unspecified axes keep the [`SweepSpec::default_grid`] values.
+    pub fn parse_grid(grid: &str, meta: &RecordMeta) -> Result<Self, String> {
+        let mut spec = Self::default_grid(meta);
+        for part in grid.split(';').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("grid clause '{part}' is not key=value"))?;
+            match key.trim() {
+                "gpus" => spec.gpus = parse_gpus(value)?,
+                "calib" => spec.calibs = parse_calibs(value, meta)?,
+                "schedule" => spec.schedules = parse_schedules(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown grid axis '{other}' (expected gpus, calib or schedule)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Number of grid points this spec enumerates.
+    pub fn point_count(&self) -> usize {
+        self.calibs.len() * self.gpus.len() * self.schedules.len()
+    }
+}
+
+/// Parse a GPU-count axis: comma-separated values and inclusive `lo..hi`
+/// ranges (`"2..4,8"` → `[2, 3, 4, 8]`).
+pub fn parse_gpus(s: &str) -> Result<Vec<u32>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((lo, hi)) = part.split_once("..") {
+            let lo: u32 = lo
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid gpu range start in '{part}'"))?;
+            let hi: u32 = hi
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid gpu range end in '{part}'"))?;
+            if lo < 1 || hi < lo {
+                return Err(format!("invalid gpu range '{part}' (need 1 <= lo <= hi)"));
+            }
+            out.extend(lo..=hi);
+        } else {
+            let v: u32 = part
+                .parse()
+                .map_err(|_| format!("invalid gpu count '{part}'"))?;
+            if v < 1 {
+                return Err(format!("gpu count must be >= 1, got '{part}'"));
+            }
+            out.push(v);
+        }
+    }
+    if out.is_empty() {
+        return Err("empty gpu list".into());
+    }
+    Ok(out)
+}
+
+/// Parse a comma-separated calibration axis (`identity,a100,h100`),
+/// resolving each name against the recording.
+pub fn parse_calibs(s: &str, meta: &RecordMeta) -> Result<Vec<SweepCalib>, String> {
+    let out: Result<Vec<SweepCalib>, String> = s
+        .split(',')
+        .map(|name| SweepCalib::resolve(name.trim(), meta).map_err(|e| e.to_string()))
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err("empty calib list".into());
+    }
+    Ok(out)
+}
+
+/// Parse a comma-separated schedule axis (`auto,mps,fifo`).
+pub fn parse_schedules(s: &str) -> Result<Vec<SchedulePolicyKind>, String> {
+    let out: Result<Vec<SchedulePolicyKind>, String> =
+        s.split(',').map(|p| p.trim().parse()).collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err("empty schedule list".into());
+    }
+    Ok(out)
+}
+
+/// One evaluated (or pruned) grid point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Calibration name (`identity` or a preset).
+    pub calib: String,
+    /// GPUs per node.
+    pub gpus: u32,
+    /// Kernel arbitration policy.
+    pub schedule: SchedulePolicyKind,
+    /// Analytic makespan lower bound (critical path vs total work);
+    /// `0.0` when the point's cost table failed to materialize.
+    pub lower_bound: f64,
+    /// Replayed makespan; `None` when pruned or errored.
+    pub makespan: Option<f64>,
+    /// Cost proxy: nodes × gpus × [`relative_node_price`] × makespan
+    /// ("node-GPU-hours at relative hardware price").
+    pub cost: Option<f64>,
+    /// Whether the pruner skipped the replay (`lower_bound > deadline`).
+    pub pruned: bool,
+    /// Replay failure (e.g. the configuration does not fit in device
+    /// memory), kept per-point so one OOM cannot abort the sweep.
+    pub error: Option<String>,
+}
+
+/// What a sweep produced: every point in deterministic grid order
+/// (calibration-major, then GPUs, then schedule) plus the extracted
+/// optima.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    pub points: Vec<SweepPoint>,
+    /// Indices into `points` of the Pareto front over (makespan, cost),
+    /// sorted by makespan ascending. No member is dominated by any
+    /// evaluated point.
+    pub pareto: Vec<usize>,
+    /// Index of the cheapest point whose makespan meets the deadline,
+    /// when a deadline was set and any point meets it.
+    pub best_under_deadline: Option<usize>,
+    pub deadline: Option<f64>,
+    /// Arena entries compiled once and shared by every point.
+    pub compiled_segments: usize,
+    /// Points actually replayed.
+    pub evaluated: usize,
+    /// Points skipped by the lower-bound pruner.
+    pub pruned: usize,
+}
+
+impl SweepResult {
+    /// Serialize as JSONL: one `sweep` header line, then one `point` line
+    /// per grid point in grid order. Deterministic byte-for-byte (the
+    /// determinism suite compares this output across thread counts);
+    /// floats use the same shortest-round-trip encoding as the workload
+    /// format.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            concat!(
+                "{{\"type\":\"sweep\",\"points\":{},\"evaluated\":{},\"pruned\":{},",
+                "\"deadline\":{},\"compiled_segments\":{}}}\n"
+            ),
+            self.points.len(),
+            self.evaluated,
+            self.pruned,
+            self.deadline.map_or_else(|| "null".into(), num),
+            self.compiled_segments,
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            let opt = |v: Option<f64>| v.map_or_else(|| "null".into(), num);
+            out.push_str(&format!(
+                concat!(
+                    "{{\"type\":\"point\",\"calib\":\"{}\",\"gpus\":{},\"schedule\":\"{}\",",
+                    "\"lower_bound\":{},\"pruned\":{},\"makespan\":{},\"cost\":{},\"pareto\":{}"
+                ),
+                esc(&p.calib),
+                p.gpus,
+                p.schedule,
+                num(p.lower_bound),
+                p.pruned,
+                opt(p.makespan),
+                opt(p.cost),
+                self.pareto.contains(&i),
+            ));
+            if let Some(e) = &p.error {
+                out.push_str(&format!(",\"error\":\"{}\"", esc(e)));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Build the [`Reprice`] mirroring what
+/// [`crate::whatif::RecordedWorkload::reprice`] would do to the recorded
+/// charges for this calibration. The identity calibration maps to
+/// [`Reprice::Identity`] (bitwise no-op); for presets the ratios are the
+/// repricer's exact expressions, so the resulting cost table is
+/// bit-identical to compiling the repriced traces.
+fn reprice_for(meta: &RecordMeta, calib: &SweepCalib) -> Reprice {
+    if calib.name == "identity" {
+        return Reprice::Identity;
+    }
+    let old = &meta.node_calib;
+    Reprice::Scaled {
+        host_ratio: old.cpu.core_flops / calib.node.cpu.core_flops,
+        alloc_ratio: if old.gpu.alloc_latency > 0.0 {
+            calib.node.gpu.alloc_latency / old.gpu.alloc_latency
+        } else {
+            1.0
+        },
+        recorded_net: meta.net_calib,
+        net: calib.net,
+        total_ranks: meta.total_ranks,
+    }
+}
+
+/// Analytic makespan lower bound for one (calibration, gpus) pair,
+/// computed from the cost table without running the event loop.
+///
+/// The bound is the max of per-chain and per-resource aggregates, each of
+/// which no schedule can beat:
+///
+/// * **per-rank critical path** — host seconds, kernel lead-ins plus solo
+///   wall time (`device_seconds / util`; every policy serves a kernel at
+///   rate ≤ its solo utilisation), collective network phases (NIC rate
+///   ≤ 1), and synchronous transfers. With overlapped streams the
+///   transfers leave the chain but the rank still cannot finish before
+///   its own stream's summed link time;
+/// * **per-GPU total device work** — every policy's aggregate service
+///   rate is ≤ 1, so Σ `device_seconds` of co-located ranks is a floor;
+/// * **per-link total transfer time** and **per-NIC total collective
+///   time** — links and NICs are shared equally, aggregate rate 1.
+///
+/// Barrier waits and contention only add time, so pruning on
+/// `lower_bound > deadline` never discards a feasible point.
+pub(crate) fn lower_bound(
+    compiled: &CompiledWorkload,
+    costs: &[CSeg],
+    gpus: u32,
+    overlap_transfers: bool,
+) -> f64 {
+    let gpus = gpus.max(1) as usize;
+    let mut bound: f64 = 0.0;
+    for node in &compiled.nodes {
+        let segs = &costs[node.seg_base..node.seg_base + node.seg_len];
+        let mut gpu_work = vec![0.0f64; gpus];
+        let mut link_work = vec![0.0f64; gpus];
+        let mut nic_work = 0.0f64;
+        for (local, r) in node.ranks.iter().enumerate() {
+            let g = local % gpus;
+            let mut chain = 0.0f64;
+            let mut streamed = 0.0f64;
+            for seg in &segs[r.seg_start as usize..r.seg_end as usize] {
+                match *seg {
+                    CSeg::Host { seconds, .. } => chain += seconds,
+                    CSeg::Kernel {
+                        lead,
+                        device_seconds,
+                        util,
+                        ..
+                    } => {
+                        chain += lead + device_seconds / util;
+                        gpu_work[g] += device_seconds;
+                    }
+                    CSeg::Transfer { seconds, .. } => {
+                        if overlap_transfers {
+                            streamed += seconds;
+                        } else {
+                            chain += seconds;
+                        }
+                        link_work[g] += seconds;
+                    }
+                    CSeg::Collective { seconds, .. } => {
+                        chain += seconds;
+                        nic_work += seconds;
+                    }
+                }
+            }
+            bound = bound.max(chain).max(streamed);
+        }
+        for g in 0..gpus {
+            bound = bound.max(gpu_work[g]).max(link_work[g]);
+        }
+        bound = bound.max(nic_work);
+    }
+    bound
+}
+
+/// Run the sweep: compile the workload once, materialize one cost table
+/// per calibration, then evaluate every grid point against the shared
+/// arena. Only a malformed *recording* (non-finite recorded charge)
+/// fails the whole sweep; per-point failures (OOM, a preset deriving a
+/// non-finite cost) are captured on their [`SweepPoint`].
+pub fn sweep(workload: &RecordedWorkload, spec: &SweepSpec) -> Result<SweepResult, EngineError> {
+    let slices: Vec<&[RankTrace]> = workload.nodes.iter().map(|v| v.as_slice()).collect();
+    let compiled = CompiledWorkload::compile(&slices)?;
+    let meta = &workload.meta;
+    let nodes = workload.nodes.len().max(1);
+
+    // One cost table per calibration, shared across the gpus × schedule
+    // sub-grid. A broken calibration poisons only its own points.
+    let tables: Vec<Result<Vec<CSeg>, EngineError>> = spec
+        .calibs
+        .iter()
+        .map(|c| compiled.cost_table(&c.node.gpu, &reprice_for(meta, c)))
+        .collect();
+
+    // Pre-allocate every point in grid order (calibration-major); the
+    // parallel fan-out below writes only its own slot, so output order —
+    // and therefore the serialized result — is thread-count-independent.
+    let mut points: Vec<SweepPoint> = Vec::with_capacity(spec.point_count());
+    for c in &spec.calibs {
+        for &g in &spec.gpus {
+            for &s in &spec.schedules {
+                points.push(SweepPoint {
+                    calib: c.name.clone(),
+                    gpus: g,
+                    schedule: s,
+                    lower_bound: 0.0,
+                    makespan: None,
+                    cost: None,
+                    pruned: false,
+                    error: None,
+                });
+            }
+        }
+    }
+
+    let per_calib = spec.gpus.len() * spec.schedules.len();
+    points.par_iter_mut().enumerate().for_each(|(i, pt)| {
+        let calib = &spec.calibs[i / per_calib];
+        let costs = match &tables[i / per_calib] {
+            Ok(t) => t,
+            Err(e) => {
+                pt.error = Some(e.to_string());
+                return;
+            }
+        };
+        pt.lower_bound = lower_bound(&compiled, costs, pt.gpus, meta.overlap_transfers);
+        if let Some(deadline) = spec.deadline {
+            if pt.lower_bound > deadline {
+                pt.pruned = true;
+                return;
+            }
+        }
+        let cfg = NodeConfig {
+            calib: calib.node,
+            gpus: pt.gpus,
+            mps: meta.mps,
+            schedule: pt.schedule,
+            overlap_transfers: meta.overlap_transfers,
+        };
+        match simulate_compiled(&compiled, costs, &cfg, false) {
+            Ok(out) => {
+                let makespan = out.wall_seconds();
+                pt.makespan = Some(makespan);
+                pt.cost = Some(
+                    nodes as f64
+                        * pt.gpus as f64
+                        * relative_node_price(&calib.node, &calib.net)
+                        * makespan,
+                );
+            }
+            Err(e) => pt.error = Some(e.to_string()),
+        }
+    });
+
+    let pareto = pareto_front(&points);
+    let best_under_deadline = spec.deadline.and_then(|d| {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.makespan.is_some_and(|m| m <= d))
+            .min_by(|(ai, a), (bi, b)| {
+                (a.cost, a.makespan, ai)
+                    .partial_cmp(&(b.cost, b.makespan, bi))
+                    .expect("evaluated points have finite cost/makespan")
+            })
+            .map(|(i, _)| i)
+    });
+    let evaluated = points.iter().filter(|p| p.makespan.is_some()).count();
+    let pruned = points.iter().filter(|p| p.pruned).count();
+    Ok(SweepResult {
+        points,
+        pareto,
+        best_under_deadline,
+        deadline: spec.deadline,
+        compiled_segments: compiled.segment_count(),
+        evaluated,
+        pruned,
+    })
+}
+
+/// Indices of the non-dominated evaluated points over (makespan, cost):
+/// no other evaluated point is ≤ on both axes and < on at least one.
+/// Sorted by makespan ascending (ties: cost, then grid index) so the
+/// front reads as a frontier.
+fn pareto_front(points: &[SweepPoint]) -> Vec<usize> {
+    let evaluated: Vec<(usize, f64, f64)> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| Some((i, p.makespan?, p.cost?)))
+        .collect();
+    let mut front: Vec<usize> = evaluated
+        .iter()
+        .filter(|&&(_, m, c)| {
+            !evaluated
+                .iter()
+                .any(|&(_, om, oc)| om <= m && oc <= c && (om < m || oc < c))
+        })
+        .map(|&(i, _, _)| i)
+        .collect();
+    front.sort_by(|&a, &b| {
+        (points[a].makespan, points[a].cost, a)
+            .partial_cmp(&(points[b].makespan, points[b].cost, b))
+            .expect("front points have finite makespan/cost")
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::KernelProfile;
+    use crate::trace::{Segment, TransferDir};
+
+    fn sample_workload() -> RecordedWorkload {
+        let mk = |f: f64| RankTrace {
+            segments: vec![
+                Segment::Host {
+                    seconds: 0.002 * f,
+                    label: "serial".into(),
+                },
+                Segment::Transfer {
+                    bytes: 5e7 * f,
+                    dir: TransferDir::HostToDevice,
+                    label: "accel_data_update_device".into(),
+                },
+                Segment::Kernel {
+                    profile: KernelProfile::uniform("k", 1e7, 40.0 * f, 8.0),
+                    dispatch: 1e-5,
+                },
+                Segment::DeviceAlloc { seconds: 1e-4 },
+                Segment::Collective {
+                    seconds: 1e-3,
+                    bytes: 1e6,
+                    label: "mpi_allreduce".into(),
+                },
+            ],
+            events: Vec::new(),
+            peak_device_bytes: 1 << 30,
+        };
+        RecordedWorkload {
+            meta: RecordMeta {
+                label: "sweep test".into(),
+                total_ranks: 8,
+                ..RecordMeta::default()
+            },
+            nodes: vec![vec![mk(1.0), mk(1.4), mk(1.8), mk(2.2)]; 2],
+        }
+    }
+
+    #[test]
+    fn grid_order_is_calibration_major() {
+        let w = sample_workload();
+        let spec = SweepSpec {
+            calibs: vec![
+                SweepCalib::resolve("identity", &w.meta).unwrap(),
+                SweepCalib::resolve("h100", &w.meta).unwrap(),
+            ],
+            gpus: vec![2, 4],
+            schedules: vec![SchedulePolicyKind::Auto, SchedulePolicyKind::Fifo],
+            deadline: None,
+        };
+        assert_eq!(spec.point_count(), 8);
+        let res = sweep(&w, &spec).unwrap();
+        let keys: Vec<(String, u32, String)> = res
+            .points
+            .iter()
+            .map(|p| (p.calib.clone(), p.gpus, p.schedule.to_string()))
+            .collect();
+        assert_eq!(keys[0], ("identity".into(), 2, "auto".into()));
+        assert_eq!(keys[1], ("identity".into(), 2, "fifo".into()));
+        assert_eq!(keys[2], ("identity".into(), 4, "auto".into()));
+        assert_eq!(keys[4], ("h100".into(), 2, "auto".into()));
+        assert_eq!(res.evaluated, 8);
+        assert_eq!(res.pruned, 0);
+    }
+
+    #[test]
+    fn identity_point_matches_replay_identity_bitwise() {
+        let w = sample_workload();
+        let spec = SweepSpec::default_grid(&w.meta);
+        let res = sweep(&w, &spec).unwrap();
+        let id = res
+            .points
+            .iter()
+            .find(|p| p.calib == "identity")
+            .expect("identity in default grid");
+        let oracle = w.replay_identity().unwrap().cluster.wall_seconds;
+        assert_eq!(id.makespan.unwrap().to_bits(), oracle.to_bits());
+    }
+
+    #[test]
+    fn preset_points_match_standalone_replay_bitwise() {
+        let w = sample_workload();
+        for name in ["h100", "a100-nvlink", "slingshot11"] {
+            let calib = SweepCalib::resolve(name, &w.meta).unwrap();
+            let spec = SweepSpec {
+                calibs: vec![calib.clone()],
+                gpus: vec![2],
+                schedules: vec![w.meta.schedule],
+                deadline: None,
+            };
+            let res = sweep(&w, &spec).unwrap();
+            let standalone = w
+                .replay(&calib.node, &calib.net, Some(2))
+                .unwrap()
+                .cluster
+                .wall_seconds;
+            assert_eq!(
+                res.points[0].makespan.unwrap().to_bits(),
+                standalone.to_bits(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_makespan() {
+        let w = sample_workload();
+        let mut spec = SweepSpec::default_grid(&w.meta);
+        spec.gpus = vec![1, 2, 4];
+        spec.schedules = vec![
+            SchedulePolicyKind::Auto,
+            SchedulePolicyKind::TimeSliced,
+            SchedulePolicyKind::Fifo,
+        ];
+        let res = sweep(&w, &spec).unwrap();
+        for p in &res.points {
+            let m = p.makespan.expect("all points evaluate");
+            assert!(
+                p.lower_bound <= m * (1.0 + 1e-12),
+                "{} gpus={} {}: bound {} > makespan {m}",
+                p.calib,
+                p.gpus,
+                p.schedule,
+                p.lower_bound
+            );
+            assert!(p.lower_bound > 0.0);
+        }
+    }
+
+    #[test]
+    fn deadline_prunes_only_provably_infeasible_points() {
+        let w = sample_workload();
+        // An unpruned reference run supplies the true makespans.
+        let mut spec = SweepSpec::default_grid(&w.meta);
+        spec.gpus = vec![1, 4];
+        let all = sweep(&w, &spec).unwrap();
+        // Set the deadline just below the largest lower bound: the pruner
+        // must fire on at least that point, and only on points whose true
+        // makespan really misses the deadline.
+        let makespans: Vec<f64> = all.points.iter().map(|p| p.makespan.unwrap()).collect();
+        let max_lb = all.points.iter().map(|p| p.lower_bound).fold(0.0, f64::max);
+        let deadline = max_lb * 0.99;
+        spec.deadline = Some(deadline);
+        let res = sweep(&w, &spec).unwrap();
+        assert!(res.pruned > 0, "deadline {deadline} pruned nothing");
+        for (p, &true_makespan) in res.points.iter().zip(&makespans) {
+            if p.pruned {
+                // Soundness: a pruned point really cannot meet the deadline.
+                assert!(p.lower_bound > deadline);
+                assert!(
+                    true_makespan > deadline,
+                    "{} gpus={}: pruned but feasible ({true_makespan} <= {deadline})",
+                    p.calib,
+                    p.gpus
+                );
+            }
+        }
+        if makespans.iter().any(|&m| m <= deadline) {
+            let best = res.best_under_deadline.expect("some point meets it");
+            assert!(res.points[best].makespan.unwrap() <= deadline);
+        } else {
+            assert!(res.best_under_deadline.is_none());
+        }
+    }
+
+    #[test]
+    fn pareto_front_has_no_dominated_member() {
+        let w = sample_workload();
+        let mut spec = SweepSpec::default_grid(&w.meta);
+        spec.gpus = vec![1, 2, 4];
+        let res = sweep(&w, &spec).unwrap();
+        assert!(!res.pareto.is_empty());
+        for &i in &res.pareto {
+            let (m, c) = (res.points[i].makespan.unwrap(), res.points[i].cost.unwrap());
+            for p in &res.points {
+                let (om, oc) = (p.makespan.unwrap(), p.cost.unwrap());
+                assert!(
+                    !(om <= m && oc <= c && (om < m || oc < c)),
+                    "front point {i} dominated by {}/{}",
+                    p.calib,
+                    p.gpus
+                );
+            }
+        }
+        // Front is sorted by makespan.
+        let ms: Vec<f64> = res
+            .pareto
+            .iter()
+            .map(|&i| res.points[i].makespan.unwrap())
+            .collect();
+        assert!(ms.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn per_point_oom_does_not_abort_the_sweep() {
+        let mut w = sample_workload();
+        for trace in w.nodes.iter_mut().flatten() {
+            trace.peak_device_bytes = 30 << 30; // ~30 GB per rank
+        }
+        // 4 ranks on 1 GPU cannot fit; on 4 GPUs they can.
+        let spec = SweepSpec {
+            calibs: vec![SweepCalib::resolve("identity", &w.meta).unwrap()],
+            gpus: vec![1, 4],
+            schedules: vec![SchedulePolicyKind::Auto],
+            deadline: None,
+        };
+        let res = sweep(&w, &spec).unwrap();
+        assert!(res.points[0].error.as_deref().unwrap().contains("memory"));
+        assert!(res.points[0].makespan.is_none());
+        assert!(res.points[1].makespan.is_some());
+        assert_eq!(res.evaluated, 1);
+        // The errored point cannot be on the front.
+        assert_eq!(res.pareto, vec![1]);
+    }
+
+    #[test]
+    fn jsonl_carries_every_point_in_grid_order() {
+        let w = sample_workload();
+        let mut spec = SweepSpec::default_grid(&w.meta);
+        spec.deadline = Some(1e-9); // prune everything
+        let res = sweep(&w, &spec).unwrap();
+        assert_eq!(res.evaluated, 0);
+        assert_eq!(res.pruned, res.points.len());
+        let text = res.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), res.points.len() + 1);
+        assert!(lines[0].contains("\"type\":\"sweep\""));
+        assert!(lines[1].contains("\"calib\":\"identity\""));
+        assert!(lines[1].contains("\"pruned\":true"));
+        assert!(lines[1].contains("\"makespan\":null"));
+    }
+
+    #[test]
+    fn grid_parsers_accept_lists_and_ranges() {
+        let meta = RecordMeta::default();
+        assert_eq!(parse_gpus("2..4,8").unwrap(), vec![2, 3, 4, 8]);
+        assert_eq!(parse_gpus("1").unwrap(), vec![1]);
+        assert!(parse_gpus("0").is_err());
+        assert!(parse_gpus("4..2").is_err());
+        assert!(parse_gpus("x").is_err());
+
+        let calibs = parse_calibs("identity, h100", &meta).unwrap();
+        assert_eq!(calibs.len(), 2);
+        assert_eq!(calibs[1].name, "h100");
+        let err = parse_calibs("nope", &meta).unwrap_err();
+        assert!(err.contains("valid presets"), "{err}");
+
+        let scheds = parse_schedules("auto,fifo").unwrap();
+        assert_eq!(
+            scheds,
+            vec![SchedulePolicyKind::Auto, SchedulePolicyKind::Fifo]
+        );
+        assert!(parse_schedules("bogus").is_err());
+
+        let spec = SweepSpec::parse_grid("gpus=1,2;calib=identity;schedule=mps", &meta).unwrap();
+        assert_eq!(spec.point_count(), 2);
+        assert!(SweepSpec::parse_grid("nope=1", &meta).is_err());
+        assert!(SweepSpec::parse_grid("gpus", &meta).is_err());
+        // Empty spec keeps the defaults.
+        let spec = SweepSpec::parse_grid("", &meta).unwrap();
+        assert_eq!(spec.calibs.len(), 1 + presets().len());
+    }
+
+    #[test]
+    fn presets_rescale_with_the_recording() {
+        let meta = RecordMeta {
+            work_scale: 1e-3,
+            ..RecordMeta::default()
+        };
+        let c = SweepCalib::resolve("h100", &meta).unwrap();
+        let paper = preset("h100").unwrap();
+        assert_eq!(
+            c.node.gpu.launch_latency,
+            paper.node.gpu.launch_latency * 1e-3
+        );
+        // Physical rates are scale-free.
+        assert_eq!(c.node.gpu.fp64_peak, paper.node.gpu.fp64_peak);
+        assert!(SweepCalib::resolve("bogus", &meta).is_err());
+    }
+}

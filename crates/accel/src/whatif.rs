@@ -199,9 +199,36 @@ pub fn presets() -> Vec<WhatifCalib> {
     ]
 }
 
-/// Look up a preset by CLI name.
-pub fn preset(name: &str) -> Option<WhatifCalib> {
-    presets().into_iter().find(|p| p.name == name)
+/// A `--calib` name that resolves to no preset. The `Display` form lists
+/// every valid name so a CLI can surface it verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPreset {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = presets().iter().map(|p| p.name).collect();
+        write!(
+            f,
+            "unknown calibration preset '{}'; valid presets: {} (or 'identity' for the recorded calibration)",
+            self.name,
+            names.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPreset {}
+
+/// Look up a preset by CLI name; the error names every valid preset.
+pub fn preset(name: &str) -> Result<WhatifCalib, UnknownPreset> {
+    presets()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| UnknownPreset {
+            name: name.to_string(),
+        })
 }
 
 /// Per-label solo-estimate stats for a set of rank traces under an
@@ -479,14 +506,15 @@ fn parse_err(line: usize, msg: impl Into<String>) -> WhatifError {
 }
 
 /// Minimal JSON string escape (labels are plain identifiers, but quotes
-/// and backslashes must survive).
-fn esc(s: &str) -> String {
+/// and backslashes must survive). Shared with the sweep's JSONL writer.
+pub(crate) fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// `{:?}` on f64 is the shortest representation that parses back to the
 /// identical bits — the property the lossless round-trip test locks.
-fn num(v: f64) -> String {
+/// Shared with the sweep's JSONL writer.
+pub(crate) fn num(v: f64) -> String {
     format!("{v:?}")
 }
 
@@ -946,8 +974,15 @@ mod tests {
             assert_eq!(preset(p.name).unwrap().name, p.name);
             assert!(!p.about.is_empty());
         }
-        assert!(preset("identity").is_none());
-        assert!(preset("nope").is_none());
+        // `identity` is resolved by callers, not the registry; the typed
+        // error says so and lists every valid preset.
+        let err = preset("identity").unwrap_err();
+        assert_eq!(err.name, "identity");
+        assert!(err.to_string().contains("recorded calibration"), "{err}");
+        let err = preset("nope").unwrap_err();
+        for p in presets() {
+            assert!(err.to_string().contains(p.name), "{err} missing {}", p.name);
+        }
         assert_eq!(preset("h100").unwrap().node.gpu, DeviceCalib::h100());
     }
 }

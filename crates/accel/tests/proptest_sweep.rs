@@ -1,0 +1,162 @@
+//! Property-based tests for the batched sweep ([`accel_sim::sweep`]).
+//!
+//! The sweep's optimizer claims are structural, so they must hold over
+//! arbitrary recorded workloads and grids, not just the calibrated
+//! presets: the Pareto front never contains a dominated point (and never
+//! misses an undominated one), the analytic lower bound never exceeds the
+//! replayed makespan (so deadline pruning never discards a feasible
+//! configuration), and the identity grid point always reproduces the
+//! trace-level oracle bit for bit.
+
+use accel_sim::sweep::{sweep, SweepCalib, SweepSpec};
+use accel_sim::whatif::{RecordMeta, RecordedWorkload};
+use accel_sim::{KernelProfile, RankTrace, SchedulePolicyKind, Segment, TransferDir};
+use proptest::prelude::*;
+
+/// A compact segment spec the shim can sample: kind selector plus two
+/// magnitudes, decoded by [`workload_from_specs`].
+fn arb_segment() -> impl Strategy<Value = (u8, f64, f64)> {
+    (0u8..5, 1e-6..1.0, 1.0..1e10)
+}
+
+fn decode_segment((kind, a, b): (u8, f64, f64)) -> Segment {
+    match kind {
+        0 => Segment::Host {
+            seconds: a,
+            label: "host".into(),
+        },
+        1 => Segment::Kernel {
+            profile: KernelProfile {
+                name: "k".into(),
+                items: b,
+                flops_per_item: 10.0 * a,
+                bytes_per_item: 8.0,
+                divergence: 1.0,
+            },
+            dispatch: a * 1e-3,
+        },
+        2 => Segment::Transfer {
+            bytes: b,
+            dir: TransferDir::HostToDevice,
+            label: "h2d".into(),
+        },
+        3 => Segment::DeviceAlloc { seconds: a * 1e-2 },
+        _ => Segment::Collective {
+            seconds: a,
+            bytes: b,
+            label: "allreduce".into(),
+        },
+    }
+}
+
+fn workload_from_specs(specs: Vec<Vec<(u8, f64, f64)>>) -> RecordedWorkload {
+    let ranks: Vec<RankTrace> = specs
+        .into_iter()
+        .map(|segs| RankTrace {
+            segments: segs.into_iter().map(decode_segment).collect(),
+            ..RankTrace::default()
+        })
+        .collect();
+    RecordedWorkload {
+        meta: RecordMeta {
+            total_ranks: 8,
+            ..RecordMeta::default()
+        },
+        nodes: vec![ranks],
+    }
+}
+
+fn arb_workload() -> impl Strategy<Value = RecordedWorkload> {
+    proptest::collection::vec(proptest::collection::vec(arb_segment(), 1..8), 1..5)
+        .prop_map(workload_from_specs)
+}
+
+fn grid(meta: &RecordMeta) -> SweepSpec {
+    SweepSpec {
+        calibs: vec![
+            SweepCalib::resolve("identity", meta).expect("identity"),
+            SweepCalib::resolve("h100", meta).expect("preset"),
+            SweepCalib::resolve("a100-nvlink", meta).expect("preset"),
+        ],
+        gpus: vec![1, 2, 4],
+        schedules: vec![SchedulePolicyKind::Auto, SchedulePolicyKind::Fifo],
+        deadline: None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn pareto_front_is_exactly_the_undominated_set(w in arb_workload()) {
+        let res = sweep(&w, &grid(&w.meta)).expect("sweep");
+        let evaluated: Vec<(usize, f64, f64)> = res
+            .points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| Some((i, p.makespan?, p.cost?)))
+            .collect();
+        for &(i, m, c) in &evaluated {
+            let dominated = evaluated
+                .iter()
+                .any(|&(_, om, oc)| om <= m && oc <= c && (om < m || oc < c));
+            prop_assert!(
+                res.pareto.contains(&i) != dominated,
+                "point {} (makespan {}, cost {}): front membership vs domination",
+                i, m, c
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_the_replayed_makespan(w in arb_workload()) {
+        let res = sweep(&w, &grid(&w.meta)).expect("sweep");
+        for p in &res.points {
+            if let Some(m) = p.makespan {
+                prop_assert!(
+                    p.lower_bound <= m * (1.0 + 1e-12),
+                    "{} x{} {}: bound {} > makespan {}",
+                    p.calib, p.gpus, p.schedule, p.lower_bound, m
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_grid_point_is_bit_identical_to_the_oracle(w in arb_workload()) {
+        let spec = SweepSpec::default_grid(&w.meta);
+        let res = sweep(&w, &spec).expect("sweep");
+        let id = res
+            .points
+            .iter()
+            .find(|p| p.calib == "identity")
+            .expect("identity in default grid");
+        let oracle = w.replay_identity().expect("fits").cluster.wall_seconds;
+        prop_assert_eq!(id.makespan.expect("evaluates").to_bits(), oracle.to_bits());
+    }
+
+    #[test]
+    fn pruning_is_sound_for_any_deadline(w in arb_workload(), frac in 0.05..1.5f64) {
+        // Whatever the deadline, a pruned point's true makespan misses it.
+        let mut spec = grid(&w.meta);
+        let free = sweep(&w, &spec).expect("sweep");
+        let max_m = free
+            .points
+            .iter()
+            .filter_map(|p| p.makespan)
+            .fold(0.0, f64::max);
+        prop_assume!(max_m > 0.0);
+        let deadline = max_m * frac;
+        spec.deadline = Some(deadline);
+        let res = sweep(&w, &spec).expect("sweep");
+        for (p, truth) in res.points.iter().zip(&free.points) {
+            if p.pruned {
+                prop_assert!(p.lower_bound > deadline);
+                let m = truth.makespan.expect("evaluated in the free run");
+                prop_assert!(
+                    m > deadline,
+                    "{} x{} {}: pruned at deadline {} but makespan {}",
+                    p.calib, p.gpus, p.schedule, deadline, m
+                );
+            }
+        }
+    }
+}

@@ -24,6 +24,22 @@
 //! would JAX still trail OpenMP on H100-class FP64, or with NVLink
 //! instead of PCIe? The report shows per-kernel original-vs-repriced
 //! deltas and the makespan shift.
+//!
+//! Sweep (compile once, reprice many — batched Pareto search):
+//!
+//! ```text
+//! whatif sweep --record <path> [--grid gpus=2..8;calib=identity,h100;schedule=mps,fifo]
+//!              [--gpus 2..8] [--calib a100,h100] [--schedule mps,fifo]
+//!              [--deadline <seconds>] [--out <jsonl>]
+//! ```
+//!
+//! One workload compile serves the whole grid; each point only
+//! materializes a per-calibration cost vector before replay. Points whose
+//! analytic lower bound already exceeds `--deadline` are pruned without a
+//! replay. The report ranks evaluated points by makespan, marks the
+//! Pareto front over (makespan, hardware-cost proxy) and names the
+//! cheapest point that meets the deadline. Passing a comma list or `..`
+//! range to `--replay`'s `--calib`/`--gpus` routes to the same sweep.
 
 use std::path::Path;
 use std::process::exit;
@@ -31,19 +47,33 @@ use std::process::exit;
 use repro_bench::report::{
     arg_value, fmt_ratio, nodes_from_args, scale_from_args, schedule_from_args, Table,
 };
-use repro_bench::{recorded_workload, run_config, RunConfig};
+use repro_bench::{record_run, RunConfig};
 use toast_core::dispatch::ImplKind;
 use toast_satsim::Problem;
 
+use accel_sim::sweep::{parse_calibs, parse_gpus, parse_schedules, SweepResult, SweepSpec};
 use accel_sim::whatif::{preset, presets, RecordedWorkload, Replayed};
 use accel_sim::{NetCalib, NodeCalib};
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("sweep") {
+        let path = arg_value("--record").or_else(|| arg_value("--replay"));
+        let Some(path) = path else {
+            eprintln!(
+                "usage: whatif sweep --record <workload.jsonl> [--grid ...] [--deadline <s>]"
+            );
+            exit(2);
+        };
+        sweep_cmd(&path);
+        return;
+    }
     match (arg_value("--record"), arg_value("--replay")) {
         (Some(path), None) => record(&path),
         (None, Some(path)) => replay(&path),
         _ => {
-            eprintln!("usage: whatif --record <path> | --replay <path> [--calib <preset>]");
+            eprintln!(
+                "usage: whatif --record <path> | --replay <path> [--calib <preset>] | whatif sweep --record <path>"
+            );
             eprintln!("presets:");
             eprintln!("  identity — the recorded calibration (differential oracle)");
             for p in presets() {
@@ -97,8 +127,7 @@ fn record(path: &str) {
     );
 
     println!("recording: {label}");
-    let out = run_config(&cfg);
-    let workload = recorded_workload(&cfg, &out, &label).unwrap_or_else(|e| {
+    let (_out, workload) = record_run(&cfg, &label).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         exit(1);
     });
@@ -121,6 +150,16 @@ fn record(path: &str) {
 }
 
 fn replay(path: &str) {
+    // A comma list or `..` range on either axis means the user asked a
+    // sweep question; route it to the batched path.
+    let multi = |v: &Option<String>| {
+        v.as_deref()
+            .is_some_and(|s| s.contains(',') || s.contains(".."))
+    };
+    if multi(&arg_value("--calib")) || multi(&arg_value("--gpus")) {
+        sweep_cmd(path);
+        return;
+    }
     let workload = RecordedWorkload::read(Path::new(path)).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         exit(1);
@@ -155,14 +194,10 @@ fn replay(path: &str) {
     let (node, net) = if calib_name == "identity" {
         (workload.meta.node_calib, workload.meta.net_calib)
     } else {
-        let Some(p) = preset(&calib_name) else {
-            eprintln!("error: unknown calib preset '{calib_name}'; known presets:");
-            eprintln!("  identity");
-            for p in presets() {
-                eprintln!("  {} — {}", p.name, p.about);
-            }
+        let p = preset(&calib_name).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
             exit(2);
-        };
+        });
         // Presets are defined at paper scale; the recording ran with its
         // latencies and capacities scaled alongside the data.
         (p.node.rescaled(workload.meta.work_scale), p.net)
@@ -215,4 +250,141 @@ fn run_replay(
         eprintln!("replay does not fit: {oom}");
         exit(1);
     })
+}
+
+fn sweep_cmd(path: &str) {
+    let workload = RecordedWorkload::read(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    let meta = &workload.meta;
+
+    let mut spec = match arg_value("--grid") {
+        Some(grid) => SweepSpec::parse_grid(&grid, meta),
+        None => Ok(SweepSpec::default_grid(meta)),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2);
+    });
+    // Individual axis flags override the grid string (and are the short
+    // form for small sweeps: `--calib a100,h100 --gpus 2..8`).
+    fn bail(e: String) -> ! {
+        eprintln!("error: {e}");
+        exit(2);
+    }
+    if let Some(v) = arg_value("--gpus") {
+        spec.gpus = parse_gpus(&v).unwrap_or_else(|e| bail(e));
+    }
+    if let Some(v) = arg_value("--calib") {
+        spec.calibs = parse_calibs(&v, meta).unwrap_or_else(|e| bail(e));
+    }
+    if let Some(v) = arg_value("--schedule") {
+        spec.schedules = parse_schedules(&v).unwrap_or_else(|e| bail(e));
+    }
+    spec.deadline = arg_value("--deadline").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --deadline expects seconds, got '{v}'");
+            exit(2);
+        })
+    });
+
+    println!(
+        "sweeping {path} [{}]: {} point(s) ({} calib x {} gpus x {} schedule){}",
+        meta.label,
+        spec.point_count(),
+        spec.calibs.len(),
+        spec.gpus.len(),
+        spec.schedules.len(),
+        spec.deadline
+            .map_or(String::new(), |d| format!(", deadline {d:?} s")),
+    );
+
+    let result = accel_sim::sweep::sweep(&workload, &spec).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    report_sweep(&result, meta.live_wall_seconds);
+
+    if let Some(out) = arg_value("--out") {
+        if let Err(e) = std::fs::write(&out, result.to_jsonl()) {
+            eprintln!("error: cannot write {out}: {e}");
+            exit(1);
+        }
+        println!("wrote {out}");
+    }
+}
+
+fn report_sweep(result: &SweepResult, live_wall: f64) {
+    // Rank evaluated points fastest-first; pruned/errored rows follow so
+    // the report stays a complete account of the grid.
+    let mut order: Vec<usize> = (0..result.points.len()).collect();
+    order.sort_by(|&a, &b| {
+        let key = |i: usize| {
+            let p = &result.points[i];
+            (p.makespan.is_none(), p.makespan.unwrap_or(f64::INFINITY), i)
+        };
+        key(a).partial_cmp(&key(b)).expect("total order")
+    });
+
+    let mut table = Table::new(&[
+        "rank",
+        "calib",
+        "gpus",
+        "schedule",
+        "makespan_s",
+        "cost",
+        "bound_s",
+        "vs_live",
+        "status",
+    ]);
+    for (rank, &i) in order.iter().enumerate() {
+        let p = &result.points[i];
+        let status = if let Some(e) = &p.error {
+            format!("error: {e}")
+        } else if p.pruned {
+            "pruned".into()
+        } else if result.pareto.contains(&i) {
+            "pareto".into()
+        } else {
+            String::new()
+        };
+        table.row(vec![
+            (rank + 1).to_string(),
+            p.calib.clone(),
+            p.gpus.to_string(),
+            p.schedule.to_string(),
+            p.makespan.map_or("-".into(), |m| format!("{m:.6}")),
+            p.cost.map_or("-".into(), |c| format!("{c:.6}")),
+            format!("{:.6}", p.lower_bound),
+            p.makespan.map_or("-".into(), |m| fmt_ratio(live_wall / m)),
+            status,
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "sweep: {} point(s), {} evaluated, {} pruned by lower bound, {} compiled segment(s) shared",
+        result.points.len(),
+        result.evaluated,
+        result.pruned,
+        result.compiled_segments,
+    );
+    println!("pareto front: {} point(s)", result.pareto.len());
+    if let Some(deadline) = result.deadline {
+        match result.best_under_deadline {
+            Some(i) => {
+                let p = &result.points[i];
+                println!(
+                    "best under deadline {deadline:?} s: {} x{} {} (makespan {:.6} s, cost {:.6})",
+                    p.calib,
+                    p.gpus,
+                    p.schedule,
+                    p.makespan.unwrap_or(f64::NAN),
+                    p.cost.unwrap_or(f64::NAN),
+                );
+            }
+            None => println!("best under deadline {deadline:?} s: none feasible"),
+        }
+    }
 }

@@ -24,7 +24,7 @@ pub mod runner;
 pub mod traceout;
 
 pub use metrics::{summarize_events, LabelSummary};
-pub use runner::{recorded_workload, run_config, RunConfig, RunOutcome};
+pub use runner::{record_run, recorded_workload, run_config, RunConfig, RunOutcome};
 pub use traceout::{span_seconds_from_file, write_trace, TraceFormat};
 
 /// Shared `--trace-out <path>` handling for the fig binaries: when the

@@ -302,6 +302,16 @@ pub fn recorded_workload(
     Ok(RecordedWorkload::capture(node_traces, meta))
 }
 
+/// Run a configuration and capture its workload in one step — the common
+/// "record for later repricing/sweeping" entry (`whatif --record`, the
+/// sweep bench). Returns the outcome alongside the recording so callers
+/// can still report live numbers.
+pub fn record_run(cfg: &RunConfig, label: &str) -> Result<(RunOutcome, RecordedWorkload), String> {
+    let out = run_config(cfg);
+    let workload = recorded_workload(cfg, &out, label)?;
+    Ok((out, workload))
+}
+
 fn node_config(cfg: &RunConfig, calib: accel_sim::NodeCalib) -> NodeConfig {
     NodeConfig {
         calib,

@@ -8,6 +8,7 @@
 //! equality. Checked for the legacy single-node replay and the 2-node
 //! cluster replay, across every schedule policy.
 
+use accel_sim::sweep::{sweep, SweepCalib, SweepSpec};
 use accel_sim::whatif::RecordedWorkload;
 use accel_sim::SchedulePolicyKind;
 use repro_bench::{recorded_workload, run_config, RunConfig};
@@ -125,4 +126,85 @@ fn non_identity_preset_changes_only_hardware_priced_charges() {
     let h2d = "accel_data_update_device";
     assert!(repriced.per_label[h2d].seconds < live[h2d].seconds);
     assert_eq!(repriced.per_label[h2d].bytes, live[h2d].bytes);
+}
+
+#[test]
+fn sweep_identity_point_reproduces_the_live_run() {
+    // The differential oracle extended to the batched path: a sweep grid
+    // containing the identity calibration at the recorded gpus/schedule
+    // must reproduce the live makespan to 1e-9 — and must be bit-identical
+    // to the point-by-point replay_identity it replaces.
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+    cfg.nodes = Some(2);
+    let out = run_config(&cfg);
+    let live_wall = *out.node_wall.as_ref().expect("run fits");
+    let recorded = recorded_workload(&cfg, &out, "sweep oracle").expect("recordable");
+    let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
+
+    let result = sweep(&parsed, &SweepSpec::default_grid(&parsed.meta)).expect("sweep");
+    let point = result
+        .points
+        .iter()
+        .find(|p| {
+            p.calib == "identity"
+                && p.gpus == parsed.meta.gpus
+                && p.schedule == parsed.meta.schedule
+        })
+        .expect("identity point in default grid");
+    let makespan = point.makespan.expect("identity point evaluates");
+    assert!(
+        (makespan - live_wall).abs() < 1e-9,
+        "sweep identity {makespan:.17e} vs live {live_wall:.17e}"
+    );
+
+    let oracle = parsed.replay_identity().expect("fits").cluster.wall_seconds;
+    assert_eq!(
+        makespan.to_bits(),
+        oracle.to_bits(),
+        "sweep identity point diverges from replay_identity: {makespan:.17e} vs {oracle:.17e}"
+    );
+}
+
+#[test]
+fn sweep_preset_points_match_standalone_replays_bitwise() {
+    // Every sweep point must equal what `whatif --replay --calib <p>
+    // --gpus <n>` computes for the same recording: the batched cost-table
+    // path and the trace-level repricer are term-for-term identical.
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+    cfg.nodes = Some(2);
+    let out = run_config(&cfg);
+    let recorded = recorded_workload(&cfg, &out, "sweep vs replay").expect("recordable");
+    let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
+
+    let spec = SweepSpec {
+        calibs: vec![
+            SweepCalib::resolve("h100", &parsed.meta).expect("preset"),
+            SweepCalib::resolve("a100-nvlink", &parsed.meta).expect("preset"),
+            SweepCalib::resolve("slingshot11", &parsed.meta).expect("preset"),
+        ],
+        gpus: vec![2, 4],
+        schedules: vec![parsed.meta.schedule],
+        deadline: None,
+    };
+    let result = sweep(&parsed, &spec).expect("sweep");
+    assert_eq!(result.evaluated, 6);
+    for (point, calib) in result.points.iter().zip(
+        spec.calibs
+            .iter()
+            .flat_map(|c| std::iter::repeat_n(c, spec.gpus.len())),
+    ) {
+        let standalone = parsed
+            .replay(&calib.node, &calib.net, Some(point.gpus))
+            .expect("fits")
+            .cluster
+            .wall_seconds;
+        assert_eq!(
+            point.makespan.expect("evaluates").to_bits(),
+            standalone.to_bits(),
+            "{} x{}: sweep {:?} vs standalone {standalone:?}",
+            point.calib,
+            point.gpus,
+            point.makespan,
+        );
+    }
 }
