@@ -19,8 +19,29 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== fig5 cluster smoke (--nodes 2)"
-cargo run --release -p repro-bench --bin fig5_full_benchmark -- --nodes 2 >/dev/null
+echo "== scenario golden round-trip (--dump-scenario)"
+# Every golden scenario file must load, re-serialize byte-identically,
+# and be accepted by its binary: the scenario spec's fixed-point check.
+scenario_bin() {
+  case "$1" in
+    fig5_4node) echo fig5_full_benchmark ;;
+    whatif_record*) echo whatif ;;
+    *) echo "$1" ;;
+  esac
+}
+for f in scenarios/*.json; do
+  name=$(basename "$f" .json)
+  bin=$(scenario_bin "$name")
+  cargo run --release -p repro-bench --bin "$bin" -- \
+    --scenario "$f" --dump-scenario | diff - "$f" >/dev/null || {
+    echo "scenario round-trip failed for $f" >&2
+    exit 1
+  }
+done
+
+echo "== fig5 cluster smoke (scenarios/fig5_4node.json)"
+cargo run --release -p repro-bench --bin fig5_full_benchmark -- \
+  --scenario scenarios/fig5_4node.json >/dev/null
 
 echo "== engine-throughput bench (smoke mode)"
 # Validates the bench harness end to end and the shape of the JSON it
@@ -68,7 +89,7 @@ echo "== whatif record->replay differential smoke"
 # from the recorded charges alone.
 workload="target/ci_whatif_workload.jsonl"
 cargo run --release -p repro-bench --bin whatif -- \
-  --record "$workload" --size medium --impl omp --procs 8 --nodes 2 >/dev/null
+  --scenario scenarios/whatif_record.json --record "$workload" >/dev/null
 cargo run --release -p repro-bench --bin whatif -- --replay "$workload" \
   | grep "identity check: .* delta 0.000000000" >/dev/null
 cargo run --release -p repro-bench --bin whatif -- --replay "$workload" --calib h100 \

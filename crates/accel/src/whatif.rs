@@ -72,6 +72,11 @@ pub struct RecordMeta {
     pub node_calib: NodeCalib,
     /// Network calibration the collective solo costs were priced with.
     pub net_calib: NetCalib,
+    /// The originating scenario as compact JSON, when the recording was
+    /// made through the scenario spec. Opaque to this crate (the spec
+    /// lives in the `scenario` crate, which depends on this one);
+    /// recordings made before the field existed parse as `None`.
+    pub scenario: Option<String>,
 }
 
 impl Default for RecordMeta {
@@ -88,6 +93,7 @@ impl Default for RecordMeta {
             live_wall_seconds: 0.0,
             node_calib: NodeCalib::default(),
             net_calib: NetCalib::default(),
+            scenario: None,
         }
     }
 }
@@ -536,7 +542,7 @@ fn write_meta(m: &RecordMeta, out: &mut String) {
             "\"fw.jit_mem_overhead\":{},\"fw.jit_process_device_bytes\":{},",
             "\"fw.omp_process_device_bytes\":{},\"fw.jit_runtime_factor\":{},",
             "\"fw.jit_cpu_backend_eff\":{},",
-            "\"net.bw\":{},\"net.latency\":{}}}\n",
+            "\"net.bw\":{},\"net.latency\":{}",
         ),
         m.version,
         esc(&m.label),
@@ -573,6 +579,12 @@ fn write_meta(m: &RecordMeta, out: &mut String) {
         num(n.bw),
         num(n.latency),
     ));
+    // Optional trailing field so pre-scenario recordings keep parsing
+    // (and writing `None` reproduces their byte layout exactly).
+    if let Some(s) = &m.scenario {
+        out.push_str(&format!(",\"scenario\":\"{}\"", esc(s)));
+    }
+    out.push_str("}\n");
 }
 
 fn write_segment(node: usize, rank: usize, seg: &Segment, out: &mut String) {
@@ -738,6 +750,7 @@ fn parse_meta(line: &str, ln: usize) -> Result<RecordMeta, WhatifError> {
             bw: num_field(line, "net.bw", ln)?,
             latency: num_field(line, "net.latency", ln)?,
         },
+        scenario: str_field(line, "scenario"),
     })
 }
 
@@ -840,6 +853,21 @@ mod tests {
             assert_eq!(a.peak_device_bytes, b.peak_device_bytes);
         }
         // Re-serialization is byte-identical.
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn embedded_scenario_round_trips_and_stays_optional() {
+        let mut w = sample_workload();
+        // Without a scenario the meta line has no trailing field at all
+        // (old recordings' byte layout).
+        assert!(!w.to_jsonl().lines().next().unwrap().contains("scenario"));
+        // With one — including the quotes and backslashes compact JSON is
+        // full of — the embedding survives a lossless round trip.
+        w.meta.scenario = Some("{\"schema_version\":1,\"name\":\"a \\\"b\\\\\"}".to_string());
+        let text = w.to_jsonl();
+        let parsed = RecordedWorkload::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.meta.scenario, w.meta.scenario);
         assert_eq!(parsed.to_jsonl(), text);
     }
 

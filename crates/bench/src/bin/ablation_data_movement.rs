@@ -4,28 +4,39 @@
 //! "In early tests, this optimization resulted in a 40% speedup compared
 //! to a naive implementation."
 //!
-//! Usage: `ablation_data_movement [--scale <f>] [--trace-out <path>]`.
+//! Usage: `ablation_data_movement [--scenario <file>] [--scale <f>]
+//! [--trace-out <path>] [--dump-scenario]` (defaults: the values in
+//! `scenarios/ablation_data_movement.json`). The scenario is the *base*
+//! configuration — this ablation sweeps the implementation and movement-
+//! policy axes on top of it.
 
-use repro_bench::report::{fmt_secs, scale_from_args, write_csv, Table};
-use repro_bench::{run_config, RunConfig};
+use repro_bench::report::{fmt_secs, write_csv, Table};
+use repro_bench::{run_config, scenario_from_args, RunConfig};
+use scenario::{ProblemSize, Scenario};
 use toast_core::dispatch::ImplKind;
 use toast_core::pipeline::MovementPolicy;
-use toast_satsim::Problem;
 
 fn main() {
-    let scale = scale_from_args(1e-3);
-    println!("Ablation — tracked vs naive data movement (medium, 16 procs, scale {scale})\n");
+    let base = scenario_from_args(
+        Scenario::new("ablation_data_movement", ProblemSize::Medium, 1e-3).with_procs(16),
+    );
+    let scale = base.problem.scale;
+    println!(
+        "Ablation — tracked vs naive data movement (medium, {} procs, scale {scale})\n",
+        base.procs_per_node
+    );
 
     let mut table = Table::new(&["implementation", "policy", "runtime_s", "pcie_bytes"]);
     for kind in [ImplKind::OmpTarget, ImplKind::Jit] {
         let mut speedup = (0.0, 0.0);
         for policy in [MovementPolicy::Tracked, MovementPolicy::Naive] {
-            let mut cfg = RunConfig::new(Problem::medium(scale), kind, 16);
-            cfg.movement = policy;
-            let out = run_config(&cfg);
+            let point = base.clone().with_kind(kind).with_movement(policy);
+            let cfg = RunConfig::from_scenario(&point).expect("validated scenario");
+            let out = run_config(&cfg).expect("validated config");
             repro_bench::dump_trace_if_requested(
                 &out,
                 &format!("{kind:?}-{policy:?}").to_lowercase(),
+                base.output.trace_out.as_deref(),
             );
             let t = out.runtime().expect("fits at 16 procs");
             if policy == MovementPolicy::Tracked {

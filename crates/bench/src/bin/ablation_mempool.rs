@@ -5,12 +5,21 @@
 //! trips; JAX ships one by default. This ablation allocates/frees the
 //! benchmark buffers through both paths and reports the charged
 //! allocation time and pool statistics.
+//!
+//! Usage: `ablation_mempool [--scenario <file>] [--dump-scenario]`
+//! (defaults: the values in `scenarios/ablation_mempool.json`, a
+//! paper-scale scenario whose resolved node calibration prices the
+//! allocations).
 
-use accel_sim::{Context, NodeCalib};
+use accel_sim::Context;
 use offload::Pool;
 use repro_bench::report::{write_csv, Table};
+use repro_bench::scenario_from_args;
+use scenario::{ProblemSize, Scenario};
 
 fn main() {
+    let s = scenario_from_args(Scenario::new("ablation_mempool", ProblemSize::Medium, 1.0));
+    let (calib, _net) = s.resolved_calib().expect("validated scenario");
     println!("Ablation — device memory pool vs raw allocation\n");
 
     let sizes: Vec<usize> = (0..200).map(|i| 1000 + (i * 7919) % 100_000).collect();
@@ -18,7 +27,7 @@ fn main() {
 
     let mut table = Table::new(&["allocator", "alloc_calls", "driver_seconds", "pool_hits"]);
     for pooled in [true, false] {
-        let mut ctx = Context::new(NodeCalib::default());
+        let mut ctx = Context::new(calib);
         let mut pool: Pool<f64> = if pooled {
             Pool::new()
         } else {

@@ -5,27 +5,34 @@
 //! between processes, effectively capping our performance to one process
 //! per device."
 //!
-//! Usage: `ablation_mps [--scale <f>] [--trace-out <path>]`.
+//! Usage: `ablation_mps [--scenario <file>] [--scale <f>]
+//! [--trace-out <path>] [--dump-scenario]` (defaults: the values in
+//! `scenarios/ablation_mps.json`). The scenario is the *base*
+//! configuration — this ablation sweeps the process-count and MPS axes on
+//! top of it.
 
-use repro_bench::report::{fmt_secs, scale_from_args, write_csv, Table};
-use repro_bench::{run_config, RunConfig};
-use toast_core::dispatch::ImplKind;
-use toast_satsim::Problem;
+use repro_bench::report::{fmt_secs, write_csv, Table};
+use repro_bench::{run_config, scenario_from_args, RunConfig};
+use scenario::{ImplKind, ProblemSize, Scenario};
 
 fn main() {
-    let scale = scale_from_args(1e-3);
+    let base = scenario_from_args(
+        Scenario::new("ablation_mps", ProblemSize::Medium, 1e-3).with_kind(ImplKind::OmpTarget),
+    );
+    let scale = base.problem.scale;
     println!("Ablation — MPS on/off for the offload port (medium, scale {scale})\n");
 
     let mut table = Table::new(&["procs", "mps_on_s", "mps_off_s", "penalty"]);
     for procs in [4u32, 8, 16, 32] {
-        let mut on = RunConfig::new(Problem::medium(scale), ImplKind::OmpTarget, procs);
-        on.mps = true;
-        let mut off = on.clone();
-        off.mps = false;
-        let out_on = run_config(&on);
-        let out_off = run_config(&off);
-        repro_bench::dump_trace_if_requested(&out_on, &format!("omp{procs}-mps"));
-        repro_bench::dump_trace_if_requested(&out_off, &format!("omp{procs}-nomps"));
+        let point = base.clone().with_procs(procs);
+        let on =
+            RunConfig::from_scenario(&point.clone().with_mps(true)).expect("validated scenario");
+        let off = RunConfig::from_scenario(&point.with_mps(false)).expect("validated scenario");
+        let out_on = run_config(&on).expect("validated config");
+        let out_off = run_config(&off).expect("validated config");
+        let trace_out = base.output.trace_out.as_deref();
+        repro_bench::dump_trace_if_requested(&out_on, &format!("omp{procs}-mps"), trace_out);
+        repro_bench::dump_trace_if_requested(&out_off, &format!("omp{procs}-nomps"), trace_out);
         let t_on = out_on.runtime().expect("fits");
         let t_off = out_off.runtime().expect("fits");
         table.row(vec![

@@ -5,11 +5,19 @@
 //! total *lines of code* (kernels + the implementation's framework and
 //! accelerator plumbing). The paper found JAX kernels ~1.2× *shorter* than
 //! the CPU baseline and OpenMP Target Offload ~1.8× *longer*.
+//!
+//! Usage: `fig2_loc [--scenario <file>] [--dump-scenario]`. The LoC count
+//! has no run configuration; the scenario
+//! (`scenarios/fig2_loc.json`) exists so every binary speaks the same
+//! contract.
 
 use loc_count::{find_workspace_root, implementation_totals, Implementation};
 use repro_bench::report::{write_csv, Table};
+use repro_bench::scenario_from_args;
+use scenario::{ProblemSize, Scenario};
 
 fn main() {
+    let _scenario = scenario_from_args(Scenario::new("fig2_loc", ProblemSize::Medium, 1.0));
     let root = find_workspace_root().expect("run inside the workspace");
     println!("Figure 2 — lines of code per implementation\n");
 

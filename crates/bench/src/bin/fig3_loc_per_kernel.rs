@@ -1,9 +1,21 @@
 //! Figure 3: lines of code per kernel, per implementation.
+//!
+//! Usage: `fig3_loc_per_kernel [--scenario <file>] [--dump-scenario]`.
+//! The LoC count has no run configuration; the scenario
+//! (`scenarios/fig3_loc_per_kernel.json`) exists so every binary speaks
+//! the same contract.
 
 use loc_count::{find_workspace_root, kernel_loc_table};
 use repro_bench::report::{write_csv, Table};
+use repro_bench::scenario_from_args;
+use scenario::{ProblemSize, Scenario};
 
 fn main() {
+    let _scenario = scenario_from_args(Scenario::new(
+        "fig3_loc_per_kernel",
+        ProblemSize::Medium,
+        1.0,
+    ));
     let root = find_workspace_root().expect("run inside the workspace");
     println!("Figure 3 — lines of code per kernel\n");
 

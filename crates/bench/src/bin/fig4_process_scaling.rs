@@ -10,34 +10,42 @@
 //! * OpenMP Target Offload tracks JAX but consistently ~20% faster,
 //!   peaking ~2.9×, fits at 1 process, OOMs at 64.
 //!
-//! Usage: `fig4_process_scaling [--scale <f>] [--trace-out <path>]
-//! [--nodes <n>] [--schedule <policy>]` (default scale 1e-3). With
-//! `--trace-out`, each configuration writes a Chrome-trace (`.json`) or
-//! JSONL (`.jsonl`) file named after it. With `--nodes`, every
-//! configuration is replayed as an `n`-node cluster through the
+//! Usage: `fig4_process_scaling [--scenario <file>] [--scale <f>]
+//! [--trace-out <path>] [--nodes <n>] [--schedule <policy>]
+//! [--dump-scenario]` (defaults: the values in
+//! `scenarios/fig4_process_scaling.json`). The scenario is the *base*
+//! configuration — this figure sweeps the process-count and
+//! implementation axes on top of it, so the scenario's own
+//! `impl`/`procs_per_node` name the reference point rather than limit the
+//! sweep. With `--trace-out`, each configuration writes a Chrome-trace
+//! (`.json`) or JSONL (`.jsonl`) file named after it. With `--nodes`,
+//! every configuration is replayed as an `n`-node cluster through the
 //! discrete-event engine (collectives become simulated network events);
 //! `--schedule` picks the kernel arbitration policy
 //! (auto | mps | timeslice | fifo | priority).
 
-use repro_bench::report::{
-    fmt_ratio, fmt_secs, nodes_from_args, scale_from_args, schedule_from_args, write_csv, Table,
-};
-use repro_bench::{run_config, RunConfig};
+use repro_bench::report::{fmt_ratio, fmt_secs, write_csv, Table};
+use repro_bench::{run_config, scenario_from_args, RunConfig};
+use scenario::{ProblemSize, Scenario};
 use toast_core::dispatch::ImplKind;
-use toast_satsim::Problem;
 
 fn main() {
-    let scale = scale_from_args(1e-3);
-    let nodes = nodes_from_args();
-    let schedule = schedule_from_args();
-    match nodes {
+    let base = scenario_from_args(Scenario::new(
+        "fig4_process_scaling",
+        ProblemSize::Medium,
+        1e-3,
+    ));
+    let scale = base.problem.scale;
+    match base.nodes {
         Some(n) => println!(
             "Figure 4 — runtime vs process count (medium, {n}-node cluster replay, \
-             schedule {schedule}, scale {scale})\n"
+             schedule {}, scale {scale})\n",
+            base.schedule
         ),
         None => println!(
-            "Figure 4 — runtime vs process count (medium, 1 node, schedule {schedule}, \
-             scale {scale})\n"
+            "Figure 4 — runtime vs process count (medium, 1 node, schedule {}, \
+             scale {scale})\n",
+            base.schedule
         ),
     }
 
@@ -51,20 +59,19 @@ fn main() {
         "omp_speedup",
     ]);
 
-    let configure = |problem: Problem, kind: ImplKind, procs: u32| {
-        let mut cfg = RunConfig::new(problem, kind, procs);
-        cfg.nodes = nodes;
-        cfg.schedule = schedule;
-        cfg
+    let run = |kind: ImplKind, procs: u32| {
+        let point = base.clone().with_kind(kind).with_procs(procs);
+        let cfg = RunConfig::from_scenario(&point).expect("validated scenario");
+        run_config(&cfg).expect("validated config")
     };
+    let trace_out = base.output.trace_out.as_deref();
     for procs in [1u32, 2, 4, 8, 16, 32, 64] {
-        let problem = Problem::medium(scale);
-        let cpu = run_config(&configure(problem.clone(), ImplKind::Cpu, procs));
-        let jax = run_config(&configure(problem.clone(), ImplKind::Jit, procs));
-        let omp = run_config(&configure(problem, ImplKind::OmpTarget, procs));
-        repro_bench::dump_trace_if_requested(&cpu, &format!("cpu{procs}"));
-        repro_bench::dump_trace_if_requested(&jax, &format!("jax{procs}"));
-        repro_bench::dump_trace_if_requested(&omp, &format!("omp{procs}"));
+        let cpu = run(ImplKind::Cpu, procs);
+        let jax = run(ImplKind::Jit, procs);
+        let omp = run(ImplKind::OmpTarget, procs);
+        repro_bench::dump_trace_if_requested(&cpu, &format!("cpu{procs}"), trace_out);
+        repro_bench::dump_trace_if_requested(&jax, &format!("jax{procs}"), trace_out);
+        repro_bench::dump_trace_if_requested(&omp, &format!("omp{procs}"), trace_out);
 
         let cpu_t = cpu.runtime();
         let fmt = |r: &repro_bench::RunOutcome| match r.runtime() {

@@ -6,39 +6,45 @@
 //! *slower* than the baseline and is quoted in text because it would dwarf
 //! the plot.
 //!
-//! Usage: `fig5_full_benchmark [--scale <f>] [--trace-out <path>]
-//! [--nodes <n>] [--schedule <policy>]` (default scale 1e-3). With
-//! `--trace-out`, each implementation writes a Chrome-trace (`.json`) or
-//! JSONL (`.jsonl`) file named after it. By default the 8 nodes are
-//! priced with the analytic comm model; with `--nodes <n>`, `n` whole
+//! Usage: `fig5_full_benchmark [--scenario <file>] [--scale <f>]
+//! [--trace-out <path>] [--nodes <n>] [--schedule <policy>]
+//! [--dump-scenario]` (defaults: the values in
+//! `scenarios/fig5_full_benchmark.json`). The scenario is the *base*
+//! configuration — this figure sweeps the implementation axis on top of
+//! it, so the scenario's own `impl` names the reference CPU baseline.
+//! With `--trace-out`, each implementation writes a Chrome-trace
+//! (`.json`) or JSONL (`.jsonl`) file named after it. By default the 8
+//! nodes are priced with the analytic comm model; with `--nodes <n>` (or
+//! `nodes` in the scenario — see `scenarios/fig5_4node.json`), `n` whole
 //! nodes are replayed through the discrete-event cluster engine and the
 //! MPI allreduces become simulated network events (NIC congestion
 //! included). `--schedule` picks the kernel arbitration policy
 //! (auto | mps | timeslice | fifo | priority).
 
-use repro_bench::report::{
-    fmt_ratio, fmt_secs, nodes_from_args, scale_from_args, schedule_from_args, write_csv, Table,
-};
-use repro_bench::{run_config, RunConfig};
+use repro_bench::report::{fmt_ratio, fmt_secs, write_csv, Table};
+use repro_bench::{run_config, scenario_from_args, RunConfig};
+use scenario::{ProblemSize, Scenario};
 use toast_core::dispatch::ImplKind;
-use toast_satsim::Problem;
 
 fn main() {
-    let scale = scale_from_args(1e-3);
-    let nodes = nodes_from_args();
-    let schedule = schedule_from_args();
-    match nodes {
+    let base = scenario_from_args(
+        Scenario::new("fig5_full_benchmark", ProblemSize::Large, 1e-3).with_procs(16),
+    );
+    let scale = base.problem.scale;
+    match base.nodes {
         Some(n) => println!(
-            "Figure 5 — full benchmark (large, {n}-node cluster replay x 16 procs, \
-             schedule {schedule}, scale {scale})\n"
+            "Figure 5 — full benchmark (large, {n}-node cluster replay x {} procs, \
+             schedule {}, scale {scale})\n",
+            base.procs_per_node, base.schedule
         ),
         None => println!(
-            "Figure 5 — full benchmark (large, 8 nodes x 16 procs x 4 threads, \
-             analytic comm, scale {scale})\n"
+            "Figure 5 — full benchmark (large, 8 nodes x {} procs x {} threads, \
+             analytic comm, scale {scale})\n",
+            base.procs_per_node,
+            base.threads().expect("validated scenario")
         ),
     }
 
-    let procs = 16u32;
     let runs = [
         ("OpenMP CPU", "cpu", ImplKind::Cpu),
         ("JAX", "jax", ImplKind::Jit),
@@ -48,11 +54,10 @@ fn main() {
 
     let mut results = Vec::new();
     for (label, slug, kind) in runs {
-        let mut cfg = RunConfig::new(Problem::large(scale), kind, procs);
-        cfg.nodes = nodes;
-        cfg.schedule = schedule;
-        let out = run_config(&cfg);
-        repro_bench::dump_trace_if_requested(&out, slug);
+        let point = base.clone().with_kind(kind);
+        let cfg = RunConfig::from_scenario(&point).expect("validated scenario");
+        let out = run_config(&cfg).expect("validated config");
+        repro_bench::dump_trace_if_requested(&out, slug, base.output.trace_out.as_deref());
         results.push((label, out));
     }
     let cpu_t = results[0].1.runtime().expect("cpu baseline fits");

@@ -9,16 +9,19 @@
 //! on average; data movement barely registers, with JAX cheaper on device
 //! updates and resets.
 //!
-//! Usage: `fig6_per_kernel [--scale <f>] [--trace-out <path>]` (default
-//! scale 1e-3). With `--trace-out`, each implementation writes a
-//! Chrome-trace (`.json`) or JSONL (`.jsonl`) file named after it.
+//! Usage: `fig6_per_kernel [--scenario <file>] [--scale <f>]
+//! [--trace-out <path>] [--dump-scenario]` (defaults: the values in
+//! `scenarios/fig6_per_kernel.json`). The scenario is the *base*
+//! configuration — this figure sweeps the implementation axis on top of
+//! it. With `--trace-out`, each implementation writes a Chrome-trace
+//! (`.json`) or JSONL (`.jsonl`) file named after it.
 
 use std::collections::BTreeMap;
 
-use repro_bench::report::{scale_from_args, write_csv, Table};
-use repro_bench::{run_config, RunConfig, RunOutcome};
+use repro_bench::report::{write_csv, Table};
+use repro_bench::{run_config, scenario_from_args, RunConfig, RunOutcome};
+use scenario::{ProblemSize, Scenario};
 use toast_core::dispatch::{ImplKind, KernelId};
-use toast_satsim::Problem;
 
 /// Sum every per-label second belonging to one kernel (the arrayjit port
 /// splits a kernel into `name/stage` labels). One-time JIT compilation is
@@ -52,28 +55,25 @@ fn movement_seconds(out: &RunOutcome) -> BTreeMap<String, f64> {
 }
 
 fn main() {
-    let scale = scale_from_args(1e-3);
-    println!("Figure 6 — per-kernel runtime (medium, 16 procs, scale {scale})\n");
+    let base = scenario_from_args(
+        Scenario::new("fig6_per_kernel", ProblemSize::Medium, 1e-3).with_procs(16),
+    );
+    let scale = base.problem.scale;
+    let procs = base.procs_per_node;
+    println!("Figure 6 — per-kernel runtime (medium, {procs} procs, scale {scale})\n");
 
-    let procs = 16u32;
-    let cpu = run_config(&RunConfig::new(
-        Problem::medium(scale),
-        ImplKind::Cpu,
-        procs,
-    ));
-    let jax = run_config(&RunConfig::new(
-        Problem::medium(scale),
-        ImplKind::Jit,
-        procs,
-    ));
-    let omp = run_config(&RunConfig::new(
-        Problem::medium(scale),
-        ImplKind::OmpTarget,
-        procs,
-    ));
-    repro_bench::dump_trace_if_requested(&cpu, "cpu");
-    repro_bench::dump_trace_if_requested(&jax, "jax");
-    repro_bench::dump_trace_if_requested(&omp, "omp");
+    let run = |kind: ImplKind| {
+        let point = base.clone().with_kind(kind);
+        let cfg = RunConfig::from_scenario(&point).expect("validated scenario");
+        run_config(&cfg).expect("validated config")
+    };
+    let cpu = run(ImplKind::Cpu);
+    let jax = run(ImplKind::Jit);
+    let omp = run(ImplKind::OmpTarget);
+    let trace_out = base.output.trace_out.as_deref();
+    repro_bench::dump_trace_if_requested(&cpu, "cpu", trace_out);
+    repro_bench::dump_trace_if_requested(&jax, "jax", trace_out);
+    repro_bench::dump_trace_if_requested(&omp, "omp", trace_out);
 
     let mut table = Table::new(&[
         "kernel",
@@ -87,7 +87,7 @@ fn main() {
     // Device kernels share a GPU with the other ranks assigned to it; the
     // per-label times are solo estimates, so inflate them by the sharing
     // factor to report what a process actually observes.
-    let sharing = (procs as f64 / 4.0).max(1.0);
+    let sharing = (procs as f64 / base.gpus as f64).max(1.0);
     for k in KernelId::BENCHMARK {
         let c = kernel_seconds(&cpu, k.name());
         let j = kernel_seconds(&jax, k.name()) * sharing;

@@ -5,10 +5,15 @@
 //! Record (runs the benchmark once, writes the workload JSONL):
 //!
 //! ```text
-//! whatif --record <path> [--size medium|large] [--impl cpu|jax|omp|jaxcpu]
-//!        [--procs <n>] [--scale <f>] [--nodes <n>] [--schedule <policy>]
-//!        [--no-mps]
+//! whatif --record <path> [--scenario <file>] [--size medium|large]
+//!        [--impl cpu|jax|omp|jaxcpu] [--procs <n>] [--scale <f>]
+//!        [--nodes <n>] [--schedule <policy>] [--no-mps] [--dump-scenario]
 //! ```
+//!
+//! The run is described by a [`Scenario`] (defaults:
+//! `scenarios/whatif_record.json`'s values); the originating scenario is
+//! embedded in the recording's metadata, so a replay knows exactly which
+//! configuration produced the charges.
 //!
 //! Replay (no benchmark run — only the recorded charges are re-priced):
 //!
@@ -30,7 +35,7 @@
 //! ```text
 //! whatif sweep --record <path> [--grid gpus=2..8;calib=identity,h100;schedule=mps,fifo]
 //!              [--gpus 2..8] [--calib a100,h100] [--schedule mps,fifo]
-//!              [--deadline <seconds>] [--out <jsonl>]
+//!              [--deadline <seconds>] [--out <jsonl>] [--dump-scenarios]
 //! ```
 //!
 //! One workload compile serves the whole grid; each point only
@@ -40,20 +45,20 @@
 //! Pareto front over (makespan, hardware-cost proxy) and names the
 //! cheapest point that meets the deadline. Passing a comma list or `..`
 //! range to `--replay`'s `--calib`/`--gpus` routes to the same sweep.
+//! `--dump-scenarios` prints the grid as one scenario per line (compact
+//! JSON, derived from the recording's embedded scenario) instead of
+//! replaying anything.
 
 use std::path::Path;
 use std::process::exit;
 
-use repro_bench::report::{
-    arg_value, fmt_ratio, nodes_from_args, scale_from_args, schedule_from_args, Table,
-};
-use repro_bench::{record_run, RunConfig};
-use toast_core::dispatch::ImplKind;
-use toast_satsim::Problem;
+use repro_bench::report::{fmt_ratio, Table};
+use repro_bench::{arg_value, has_flag, record_run, scenario_from_args, RunConfig};
 
 use accel_sim::sweep::{parse_calibs, parse_gpus, parse_schedules, SweepResult, SweepSpec};
-use accel_sim::whatif::{preset, presets, RecordedWorkload, Replayed};
+use accel_sim::whatif::{preset, presets, RecordMeta, RecordedWorkload, Replayed};
 use accel_sim::{NetCalib, NodeCalib};
+use scenario::{ImplKind, ProblemSize, Scenario};
 
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("sweep") {
@@ -67,71 +72,57 @@ fn main() {
         sweep_cmd(&path);
         return;
     }
-    match (arg_value("--record"), arg_value("--replay")) {
-        (Some(path), None) => record(&path),
-        (None, Some(path)) => replay(&path),
-        _ => {
-            eprintln!(
-                "usage: whatif --record <path> | --replay <path> [--calib <preset>] | whatif sweep --record <path>"
-            );
-            eprintln!("presets:");
-            eprintln!("  identity — the recorded calibration (differential oracle)");
-            for p in presets() {
-                eprintln!("  {} — {}", p.name, p.about);
-            }
-            exit(2);
-        }
+    if let Some(path) = arg_value("--replay") {
+        replay(&path);
+        return;
     }
+    if arg_value("--record").is_some() || arg_value("--scenario").is_some() {
+        record();
+        return;
+    }
+    eprintln!(
+        "usage: whatif --record <path> | --replay <path> [--calib <preset>] | whatif sweep --record <path>"
+    );
+    eprintln!("presets:");
+    eprintln!("  identity — the recorded calibration (differential oracle)");
+    for p in presets() {
+        eprintln!("  {} — {}", p.name, p.about);
+    }
+    exit(2);
 }
 
-fn record(path: &str) {
-    let size = arg_value("--size").unwrap_or_else(|| "medium".into());
-    let scale = scale_from_args(1e-3);
-    let problem = match size.as_str() {
-        "medium" => Problem::medium(scale),
-        "large" => Problem::large(scale),
-        other => {
-            eprintln!("error: --size expects medium|large, got '{other}'");
-            exit(2);
-        }
+fn record() {
+    let s = scenario_from_args(
+        Scenario::new("whatif_record", ProblemSize::Medium, 1e-3).with_kind(ImplKind::OmpTarget),
+    );
+    let Some(path) = s.output.record_out.clone() else {
+        eprintln!("error: recording needs an output path (--record <path> or output.record_out)");
+        exit(2);
     };
-    let impl_name = arg_value("--impl").unwrap_or_else(|| "omp".into());
-    let kind = match impl_name.as_str() {
-        "cpu" => ImplKind::Cpu,
-        "jax" => ImplKind::Jit,
-        "omp" => ImplKind::OmpTarget,
-        "jaxcpu" => ImplKind::JitCpu,
-        other => {
-            eprintln!("error: --impl expects cpu|jax|omp|jaxcpu, got '{other}'");
-            exit(2);
-        }
+    let cfg = RunConfig::from_scenario(&s).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2);
+    });
+    let size = match s.problem.size {
+        ProblemSize::Medium => "medium",
+        ProblemSize::Large => "large",
     };
-    let procs: u32 = match arg_value("--procs").map(|v| v.parse()) {
-        None => 16,
-        Some(Ok(n)) => n,
-        Some(Err(_)) => {
-            eprintln!("error: --procs expects an integer");
-            exit(2);
-        }
-    };
-
-    let mut cfg = RunConfig::new(problem, kind, procs);
-    cfg.nodes = nodes_from_args();
-    cfg.schedule = schedule_from_args();
-    cfg.mps = !std::env::args().any(|a| a == "--no-mps");
     let label = format!(
-        "{size} {impl_name} x{procs} scale {scale} nodes {} schedule {} mps {}",
+        "{size} {} x{} scale {} nodes {} schedule {} mps {}",
+        s.kind,
+        s.procs_per_node,
+        s.problem.scale,
         cfg.nodes.map_or("-".into(), |n| n.to_string()),
         cfg.schedule,
         cfg.mps,
     );
 
     println!("recording: {label}");
-    let (_out, workload) = record_run(&cfg, &label).unwrap_or_else(|e| {
+    let (_out, workload) = record_run(&cfg, &label, Some(&s)).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         exit(1);
     });
-    if let Err(e) = workload.write(Path::new(path)) {
+    if let Err(e) = workload.write(Path::new(&path)) {
         eprintln!("error: cannot write {path}: {e}");
         exit(1);
     }
@@ -252,6 +243,24 @@ fn run_replay(
     })
 }
 
+/// The scenario a recording originated from: the embedded one when the
+/// recording carries it, otherwise a reconstruction from the metadata
+/// fields (pre-scenario recordings).
+fn base_scenario(meta: &RecordMeta) -> Scenario {
+    if let Some(text) = &meta.scenario {
+        match Scenario::parse(text) {
+            Ok(s) => return s,
+            Err(e) => eprintln!("warning: embedded scenario unreadable ({e}); reconstructing"),
+        }
+    }
+    let mut s = Scenario::new(&meta.label, ProblemSize::Medium, meta.work_scale);
+    s.gpus = meta.gpus;
+    s.mps = meta.mps;
+    s.schedule = meta.schedule;
+    s.overlap_transfers = meta.overlap_transfers;
+    s
+}
+
 fn sweep_cmd(path: &str) {
     let workload = RecordedWorkload::read(Path::new(path)).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -288,6 +297,16 @@ fn sweep_cmd(path: &str) {
             exit(2);
         })
     });
+
+    if has_flag("--dump-scenarios") {
+        // Print the grid as runnable scenarios, one compact JSON per line,
+        // without replaying anything.
+        let base = base_scenario(meta);
+        for s in scenario::expand_sweep(&base, &spec) {
+            println!("{}", s.to_json_compact());
+        }
+        return;
+    }
 
     println!(
         "sweeping {path} [{}]: {} point(s) ({} calib x {} gpus x {} schedule){}",

@@ -2,11 +2,15 @@
 //!
 //! One module per concern:
 //!
+//! * [`args`] — shared CLI handling: every binary resolves a
+//!   [`scenario::Scenario`] (its figure's defaults, `--scenario <file>`,
+//!   flag overrides, `--dump-scenario`) through one parser;
 //! * [`runner`] — execute one benchmark configuration (problem ×
 //!   implementation × processes × MPS × movement policy): build every
 //!   rank's workload, run the pipelines recording traces, replay them
 //!   through the node-level discrete-event simulation, and price the
-//!   inter-node collectives;
+//!   inter-node collectives. [`RunConfig`] is the runner-facing
+//!   projection of a scenario;
 //! * [`metrics`] — per-label counters and duration percentiles reduced
 //!   from the span traces;
 //! * [`traceout`] — Chrome-trace-event / JSONL export behind the
@@ -16,27 +20,31 @@
 //!
 //! Each binary under `src/bin/` regenerates one of the paper's figures or
 //! one of the DESIGN.md ablations; `EXPERIMENTS.md` records paper-vs-
-//! measured for all of them.
+//! measured for all of them, and `scenarios/` holds the golden scenario
+//! file behind each one.
 
+pub mod args;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod traceout;
 
+pub use args::{arg_value, has_flag, scenario_from_args};
 pub use metrics::{summarize_events, LabelSummary};
 pub use runner::{record_run, recorded_workload, run_config, RunConfig, RunOutcome};
 pub use traceout::{span_seconds_from_file, write_trace, TraceFormat};
 
-/// Shared `--trace-out <path>` handling for the fig binaries: when the
-/// flag is present, write `out`'s span trace (plus the node timeline, if
-/// the run fit) to the flag's path with `label` inserted before the
-/// extension — `trace.json` becomes `trace-<label>.json`, one file per
-/// configuration of a sweep — and print the per-label span metrics.
-pub fn dump_trace_if_requested(out: &RunOutcome, label: &str) {
-    let Some(base) = report::arg_value("--trace-out") else {
+/// Shared trace-dump handling for the fig binaries: when the scenario
+/// requests a trace (`output.trace_out`, usually set by `--trace-out`),
+/// write `out`'s span trace (plus the node timeline, if the run fit) to
+/// that path with `label` inserted before the extension — `trace.json`
+/// becomes `trace-<label>.json`, one file per configuration of a sweep —
+/// and print the per-label span metrics.
+pub fn dump_trace_if_requested(out: &RunOutcome, label: &str, trace_out: Option<&str>) {
+    let Some(base) = trace_out else {
         return;
     };
-    let path = report::trace_path_for(&base, label);
+    let path = report::trace_path_for(base, label);
     match traceout::write_trace(&path, &out.traces, out.timeline.as_ref()) {
         Ok(()) => println!("wrote trace {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),

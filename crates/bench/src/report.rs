@@ -100,57 +100,6 @@ pub fn fmt_ratio(r: f64) -> String {
     format!("{r:.2}x")
 }
 
-/// Parse `--scale <f64>` from argv, with a default.
-pub fn scale_from_args(default: f64) -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
-        if args[i] == "--scale" {
-            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                return v;
-            }
-        }
-    }
-    default
-}
-
-/// The value following `--<flag>` in argv, if present.
-pub fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-/// Parse `--nodes <n>` from argv: replay `n` whole nodes through the
-/// cluster engine (collectives become simulated network events). `None`
-/// (flag absent) keeps the legacy single-node replay with analytic comm
-/// pricing. A malformed value aborts rather than silently running the
-/// wrong experiment.
-pub fn nodes_from_args() -> Option<u32> {
-    let v = arg_value("--nodes")?;
-    match v.parse::<u32>() {
-        Ok(n) if n >= 1 => Some(n),
-        _ => {
-            eprintln!("error: --nodes expects a positive integer, got '{v}'");
-            std::process::exit(2);
-        }
-    }
-}
-
-/// Parse `--schedule <policy>` from argv
-/// (auto | mps | timeslice | fifo | priority); defaults to `auto`,
-/// which follows the MPS flag. A malformed value aborts.
-pub fn schedule_from_args() -> accel_sim::SchedulePolicyKind {
-    match arg_value("--schedule") {
-        None => accel_sim::SchedulePolicyKind::Auto,
-        Some(v) => v.parse().unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }),
-    }
-}
-
 /// A per-label metrics summary table (Observability section of the
 /// README): calls, total and p50/p95/max span durations, bytes.
 pub fn metrics_table(metrics: &std::collections::BTreeMap<String, crate::LabelSummary>) -> Table {

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use accel_sim::calib::NetCalib;
+use accel_sim::calib::{NetCalib, NodeCalib};
 use accel_sim::comm::allreduce_seconds;
 use accel_sim::context::LabelStats;
 use accel_sim::engine::{simulate_cluster_traced, ClusterResult, SchedulePolicyKind};
@@ -11,19 +11,23 @@ use accel_sim::whatif::{RecordMeta, RecordedWorkload};
 use accel_sim::Context;
 use accel_sim::EngineError;
 use rayon::prelude::*;
+use scenario::{CalibSpec, Scenario, ScenarioError};
 use toast_core::dispatch::ImplKind;
 use toast_core::kernels::ExecCtx;
 use toast_core::pipeline::{benchmark_pipeline_passes, MovementPolicy};
 use toast_satsim::Problem;
 
-/// One benchmark configuration.
+/// One benchmark configuration — the runner-facing projection of a
+/// [`Scenario`]. Flag-driven entry points build it directly; scenario
+/// files reach it through [`RunConfig::from_scenario`], and the two paths
+/// are locked bit-identical by the differential tests.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// The workload.
     pub problem: Problem,
     /// Which implementation every kernel uses.
     pub kind: ImplKind,
-    /// Processes per node (threads per process = 64 / this).
+    /// Processes per node (threads per process = cores / this).
     pub procs_per_node: u32,
     /// Whether the CUDA Multi-Process Service is active (paper § 3.1.2:
     /// required for efficient offload oversubscription).
@@ -41,18 +45,27 @@ pub struct RunConfig {
     pub schedule: SchedulePolicyKind,
     /// Overlap H2D/D2H transfers with host work on per-rank streams.
     pub overlap_transfers: bool,
+    /// GPUs per node (the paper's Perlmutter nodes carry 4).
+    pub gpus: u32,
+    /// Calibration override; `None` means the problem's own scaled
+    /// calibration, exactly as every flag-driven run uses.
+    pub calib: Option<NodeCalib>,
+    /// Interconnect override; `None` means [`NetCalib::default`].
+    pub net: Option<NetCalib>,
 }
 
 impl RunConfig {
     /// The standard configuration for an implementation at a process
-    /// count.
-    ///
-    /// # Panics
-    ///
-    /// `procs_per_node` must be a divisor of the node's 64 cores
-    /// (1, 2, 4, 8, 16, 32 or 64) so that processes × threads = 64
-    /// exactly — see [`RunConfig::threads`].
-    pub fn new(problem: Problem, kind: ImplKind, procs_per_node: u32) -> Self {
+    /// count. Fails with [`ScenarioError::InvalidProcs`] when
+    /// `procs_per_node` does not evenly partition the node's cores — the
+    /// old behaviour silently floored non-divisors (e.g. 3 procs → 21
+    /// threads, leaving a core idle), making configurations lie about the
+    /// hardware they model.
+    pub fn new(
+        problem: Problem,
+        kind: ImplKind,
+        procs_per_node: u32,
+    ) -> Result<Self, ScenarioError> {
         let cfg = Self {
             problem,
             kind,
@@ -62,28 +75,65 @@ impl RunConfig {
             nodes: None,
             schedule: SchedulePolicyKind::Auto,
             overlap_transfers: false,
+            gpus: 4,
+            calib: None,
+            net: None,
         };
-        cfg.threads(); // validate eagerly
-        cfg
+        cfg.threads()?; // validate eagerly
+        Ok(cfg)
     }
 
-    /// Threads per process: the node's 64 cores divided evenly among the
-    /// ranks, as in the paper's Fig. 4 sweep.
-    ///
-    /// # Panics
-    ///
-    /// If `procs_per_node` does not divide 64. The old behaviour silently
-    /// floored non-divisors (e.g. 3 procs → 21 threads, leaving a core
-    /// idle) and clamped > 64 procs to 1 thread each (oversubscribing the
-    /// node), both of which made configurations lie about the hardware
-    /// they model.
-    pub fn threads(&self) -> u32 {
-        assert!(
-            self.procs_per_node >= 1 && self.procs_per_node <= 64 && 64 % self.procs_per_node == 0,
-            "procs_per_node must divide the node's 64 cores, got {}",
-            self.procs_per_node
-        );
-        64 / self.procs_per_node
+    /// Project a [`Scenario`] onto the runner. Total: every scenario
+    /// field lands in the config (or, for [`Scenario::output`], in the
+    /// caller's output handling). An `auto` calibration projects to
+    /// `None` so the scenario path shares the flag path's code exactly.
+    pub fn from_scenario(s: &Scenario) -> Result<Self, ScenarioError> {
+        s.validate()?;
+        let (calib, net) = match &s.calib {
+            CalibSpec::Auto => (None, None),
+            _ => {
+                let (node, net) = s.resolved_calib()?;
+                (Some(node), Some(net))
+            }
+        };
+        Ok(Self {
+            problem: s.build_problem(),
+            kind: s.kind,
+            procs_per_node: s.procs_per_node,
+            mps: s.mps,
+            movement: s.movement,
+            nodes: s.nodes,
+            schedule: s.schedule,
+            overlap_transfers: s.overlap_transfers,
+            gpus: s.gpus,
+            calib,
+            net,
+        })
+    }
+
+    /// Threads per process: the node's cores divided evenly among the
+    /// ranks, as in the paper's Fig. 4 sweep. Non-divisors are the typed
+    /// [`ScenarioError::InvalidProcs`] (they would idle or oversubscribe
+    /// cores).
+    pub fn threads(&self) -> Result<u32, ScenarioError> {
+        let cores = self.node_calib().cpu.cores;
+        if self.procs_per_node == 0 || !cores.is_multiple_of(self.procs_per_node) {
+            return Err(ScenarioError::InvalidProcs {
+                procs: self.procs_per_node,
+                cores,
+            });
+        }
+        Ok(cores / self.procs_per_node)
+    }
+
+    /// The node calibration in force: the override, or the problem's own.
+    pub fn node_calib(&self) -> NodeCalib {
+        self.calib.unwrap_or_else(|| self.problem.calib())
+    }
+
+    /// The interconnect calibration in force.
+    pub fn net_calib(&self) -> NetCalib {
+        self.net.unwrap_or_default()
     }
 }
 
@@ -130,8 +180,11 @@ impl RunOutcome {
 /// unset, ranks on other nodes are statistically identical and collectives
 /// are priced analytically; with it set, every node is replayed through
 /// the cluster engine and collectives become simulated network events.
-pub fn run_config(cfg: &RunConfig) -> RunOutcome {
-    let calib = cfg.problem.calib();
+/// Fails only on configuration errors (invalid process counts); workload
+/// failures like out-of-memory stay inside [`RunOutcome::node_wall`].
+pub fn run_config(cfg: &RunConfig) -> Result<RunOutcome, ScenarioError> {
+    let threads = cfg.threads()?;
+    let calib = cfg.node_calib();
     let procs = cfg.procs_per_node;
     let fw = calib.framework;
 
@@ -141,7 +194,7 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
     // rank's NIC demand instead of a closed-form addend.
     let total_ranks = cfg.nodes.unwrap_or(cfg.problem.nodes) * procs;
     let map_bytes = (cfg.problem.geometry().map_len() * 8) as f64;
-    let net = NetCalib::default();
+    let net = cfg.net_calib();
     let collective_solo = allreduce_seconds(&net, total_ranks, map_bytes) * cfg.problem.scale;
 
     // Ranks are independent simulated processes: run them in parallel on
@@ -165,7 +218,7 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
                     .map_err(|e| format!("rank {rank}: {e}"))?;
             }
 
-            let mut exec = ExecCtx::new(cfg.kind, cfg.threads());
+            let mut exec = ExecCtx::new(cfg.kind, threads);
             let host = cfg.problem.host_seconds_per_rank(&ws, procs);
             let pipe =
                 benchmark_pipeline_passes(host, cfg.problem.passes).with_policy(cfg.movement);
@@ -254,7 +307,7 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
         }
     };
 
-    RunOutcome {
+    Ok(RunOutcome {
         node_wall,
         comm_seconds,
         metrics: crate::metrics::summarize_events(&traces),
@@ -264,7 +317,7 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
         traces,
         timeline,
         cluster,
-    }
+    })
 }
 
 /// Capture a [`RecordedWorkload`] from a finished run, for what-if
@@ -272,12 +325,14 @@ pub fn run_config(cfg: &RunConfig) -> RunOutcome {
 /// replicated across [`RunConfig::nodes`] (the runner's own cluster
 /// convention: every node runs a statistically identical set of ranks), so
 /// an identity-calibration replay reproduces `out.node_wall` exactly.
-/// Fails when the run itself did not fit on the device — there is no wall
-/// time to reprice.
+/// When the run came from a scenario, pass it so the recording carries
+/// its provenance. Fails when the run itself did not fit on the device —
+/// there is no wall time to reprice.
 pub fn recorded_workload(
     cfg: &RunConfig,
     out: &RunOutcome,
     label: &str,
+    scenario: Option<&Scenario>,
 ) -> Result<RecordedWorkload, String> {
     let live_wall = *out
         .node_wall
@@ -289,15 +344,16 @@ pub fn recorded_workload(
     let meta = RecordMeta {
         version: 1,
         label: label.to_string(),
-        gpus: 4,
+        gpus: cfg.gpus,
         mps: cfg.mps,
         schedule: cfg.schedule,
         overlap_transfers: cfg.overlap_transfers,
         total_ranks: cfg.nodes.unwrap_or(cfg.problem.nodes) * cfg.procs_per_node,
         work_scale: cfg.problem.scale,
         live_wall_seconds: live_wall,
-        node_calib: cfg.problem.calib(),
-        net_calib: NetCalib::default(),
+        node_calib: cfg.node_calib(),
+        net_calib: cfg.net_calib(),
+        scenario: scenario.map(|s| s.to_json_compact()),
     };
     Ok(RecordedWorkload::capture(node_traces, meta))
 }
@@ -306,16 +362,20 @@ pub fn recorded_workload(
 /// "record for later repricing/sweeping" entry (`whatif --record`, the
 /// sweep bench). Returns the outcome alongside the recording so callers
 /// can still report live numbers.
-pub fn record_run(cfg: &RunConfig, label: &str) -> Result<(RunOutcome, RecordedWorkload), String> {
-    let out = run_config(cfg);
-    let workload = recorded_workload(cfg, &out, label)?;
+pub fn record_run(
+    cfg: &RunConfig,
+    label: &str,
+    scenario: Option<&Scenario>,
+) -> Result<(RunOutcome, RecordedWorkload), String> {
+    let out = run_config(cfg).map_err(|e| e.to_string())?;
+    let workload = recorded_workload(cfg, &out, label, scenario)?;
     Ok((out, workload))
 }
 
 fn node_config(cfg: &RunConfig, calib: accel_sim::NodeCalib) -> NodeConfig {
     NodeConfig {
         calib,
-        gpus: 4,
+        gpus: cfg.gpus,
         mps: cfg.mps,
         schedule: cfg.schedule,
         overlap_transfers: cfg.overlap_transfers,
@@ -325,6 +385,7 @@ fn node_config(cfg: &RunConfig, calib: accel_sim::NodeCalib) -> NodeConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scenario::ProblemSize;
 
     fn tiny_problem() -> Problem {
         let mut p = Problem::medium(2e-3);
@@ -337,9 +398,25 @@ mod tests {
         p
     }
 
+    fn tiny_cfg(kind: ImplKind, procs: u32) -> RunConfig {
+        RunConfig::new(tiny_problem(), kind, procs).expect("valid procs")
+    }
+
+    /// The same tiny problem expressed as a scenario, for the
+    /// flag-vs-scenario differential tests.
+    fn tiny_scenario(kind: ImplKind, procs: u32) -> Scenario {
+        let mut s = Scenario::new("tiny", ProblemSize::Medium, 2e-3)
+            .with_kind(kind)
+            .with_procs(procs);
+        s.problem.total_samples = Some(5e9 * (64.0 / 2048.0));
+        s.problem.n_det_total = Some(64);
+        s.problem.n_obs = Some(2);
+        s
+    }
+
     #[test]
     fn cpu_run_completes_and_reports_time() {
-        let out = run_config(&RunConfig::new(tiny_problem(), ImplKind::Cpu, 4));
+        let out = run_config(&tiny_cfg(ImplKind::Cpu, 4)).unwrap();
         let t = out.runtime().expect("cpu fits");
         assert!(t > 0.0);
         assert!(out.per_label.contains_key("scan_map"));
@@ -351,14 +428,15 @@ mod tests {
         // The tiny test problem is far below the paper's size, so one-time
         // JIT compilation (a fixed cost the real benchmark amortises over
         // ~10^9 samples) is subtracted before comparing.
-        let p = tiny_problem();
-        let cpu = run_config(&RunConfig::new(p.clone(), ImplKind::Cpu, 16))
+        let cpu = run_config(&tiny_cfg(ImplKind::Cpu, 16))
+            .unwrap()
             .runtime()
             .unwrap();
-        let omp = run_config(&RunConfig::new(p.clone(), ImplKind::OmpTarget, 16))
+        let omp = run_config(&tiny_cfg(ImplKind::OmpTarget, 16))
+            .unwrap()
             .runtime()
             .unwrap();
-        let jit_out = run_config(&RunConfig::new(p, ImplKind::Jit, 16));
+        let jit_out = run_config(&tiny_cfg(ImplKind::Jit, 16)).unwrap();
         let compile: f64 = jit_out
             .per_label
             .iter()
@@ -372,7 +450,7 @@ mod tests {
 
     #[test]
     fn per_label_includes_data_movement() {
-        let out = run_config(&RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4));
+        let out = run_config(&tiny_cfg(ImplKind::OmpTarget, 4)).unwrap();
         assert!(out.per_label.contains_key("accel_data_update_device"));
         assert!(out.transfer_bytes > 0.0);
     }
@@ -380,32 +458,57 @@ mod tests {
     #[test]
     fn threads_divides_the_node_evenly() {
         for procs in [1u32, 2, 4, 8, 16, 32, 64] {
-            let cfg = RunConfig::new(tiny_problem(), ImplKind::Cpu, procs);
-            assert_eq!(cfg.threads() * procs, 64);
+            let cfg = tiny_cfg(ImplKind::Cpu, procs);
+            assert_eq!(cfg.threads().unwrap() * procs, 64);
         }
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
-    fn zero_procs_per_node_is_rejected() {
-        RunConfig::new(tiny_problem(), ImplKind::Cpu, 0);
+    fn invalid_procs_are_typed_errors_not_panics() {
+        // 0 (degenerate), non-divisors (would idle cores) and
+        // oversubscription (more procs than cores) all surface as
+        // `ScenarioError::InvalidProcs` — the replacement for the old
+        // "must divide" panic.
+        for procs in [0u32, 3, 65, 128] {
+            match RunConfig::new(tiny_problem(), ImplKind::Cpu, procs) {
+                Err(ScenarioError::InvalidProcs { procs: p, cores }) => {
+                    assert_eq!(p, procs);
+                    assert_eq!(cores, 64);
+                }
+                other => panic!("procs {procs}: expected InvalidProcs, got {other:?}"),
+            }
+        }
+        // A config mutated into invalidity after construction fails at
+        // run time instead of panicking mid-run.
+        let mut cfg = tiny_cfg(ImplKind::Cpu, 4);
+        cfg.procs_per_node = 5;
+        assert!(matches!(
+            run_config(&cfg),
+            Err(ScenarioError::InvalidProcs { procs: 5, .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
-    fn non_divisor_procs_per_node_is_rejected() {
-        RunConfig::new(tiny_problem(), ImplKind::Cpu, 3);
-    }
-
-    #[test]
-    #[should_panic(expected = "must divide")]
-    fn oversubscribed_procs_per_node_is_rejected() {
-        RunConfig::new(tiny_problem(), ImplKind::Cpu, 128);
+    fn scenario_path_is_bit_identical_to_flag_path() {
+        // The differential guard at the runner level: a RunConfig built
+        // from a Scenario must reproduce the directly-constructed one's
+        // makespan to the bit, for both CPU and device implementations.
+        for (kind, procs) in [(ImplKind::Cpu, 4), (ImplKind::OmpTarget, 8)] {
+            let direct = run_config(&tiny_cfg(kind, procs)).unwrap();
+            let via = RunConfig::from_scenario(&tiny_scenario(kind, procs)).unwrap();
+            let scen = run_config(&via).unwrap();
+            assert_eq!(
+                direct.node_wall.as_ref().unwrap().to_bits(),
+                scen.node_wall.as_ref().unwrap().to_bits(),
+                "{kind:?} at {procs} procs"
+            );
+            assert_eq!(direct.comm_seconds.to_bits(), scen.comm_seconds.to_bits());
+        }
     }
 
     #[test]
     fn metrics_totals_agree_with_label_stats() {
-        let out = run_config(&RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4));
+        let out = run_config(&tiny_cfg(ImplKind::OmpTarget, 4)).unwrap();
         assert!(out.timeline.is_some());
         assert!(!out.traces.is_empty());
         for (label, stat) in &out.per_label {
@@ -425,14 +528,14 @@ mod tests {
 
     #[test]
     fn cluster_run_replays_collectives_as_network_events() {
-        let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
-        let legacy = run_config(&cfg);
+        let mut cfg = tiny_cfg(ImplKind::OmpTarget, 4);
+        let legacy = run_config(&cfg).unwrap();
         let legacy_wall = *legacy.node_wall.as_ref().expect("fits");
         assert!(legacy.comm_seconds > 0.0);
         assert!(legacy.cluster.is_none());
 
         cfg.nodes = Some(2);
-        let out = run_config(&cfg);
+        let out = run_config(&cfg).unwrap();
         let wall = *out.node_wall.as_ref().expect("fits");
         // Collectives are inside the replayed wall now, not an addend.
         assert_eq!(out.comm_seconds, 0.0);
@@ -458,10 +561,10 @@ mod tests {
 
     #[test]
     fn overlap_and_schedule_flags_reach_the_replay() {
-        let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 8);
-        let sync_wall = run_config(&cfg).runtime().expect("fits");
+        let mut cfg = tiny_cfg(ImplKind::OmpTarget, 8);
+        let sync_wall = run_config(&cfg).unwrap().runtime().expect("fits");
         cfg.overlap_transfers = true;
-        let overlap_wall = run_config(&cfg).runtime().expect("fits");
+        let overlap_wall = run_config(&cfg).unwrap().runtime().expect("fits");
         // Streams can only help (or tie): transfers hide behind host work.
         assert!(
             overlap_wall <= sync_wall + 1e-12,
@@ -470,7 +573,7 @@ mod tests {
 
         cfg.overlap_transfers = false;
         cfg.schedule = accel_sim::SchedulePolicyKind::Fifo;
-        let fifo_wall = run_config(&cfg).runtime().expect("fits");
+        let fifo_wall = run_config(&cfg).unwrap().runtime().expect("fits");
         assert!(fifo_wall > 0.0);
         assert!(
             (fifo_wall - sync_wall).abs() > 1e-12,
@@ -479,11 +582,27 @@ mod tests {
     }
 
     #[test]
+    fn recordings_carry_their_scenario() {
+        let s = tiny_scenario(ImplKind::OmpTarget, 4);
+        let cfg = RunConfig::from_scenario(&s).unwrap();
+        let (_, w) = record_run(&cfg, "with scenario", Some(&s)).unwrap();
+        let embedded = w.meta.scenario.as_deref().expect("scenario embedded");
+        assert_eq!(Scenario::parse(embedded).unwrap(), s);
+        assert_eq!(w.meta.gpus, s.gpus);
+        // And the embedding survives the JSONL round trip.
+        let parsed = RecordedWorkload::parse_jsonl(&w.to_jsonl()).unwrap();
+        assert_eq!(parsed.meta.scenario, w.meta.scenario);
+        // Flag-driven recordings stay scenario-free.
+        let (_, w2) = record_run(&cfg, "no scenario", None).unwrap();
+        assert!(w2.meta.scenario.is_none());
+    }
+
+    #[test]
     fn written_trace_round_trips_per_label_seconds() {
         // The acceptance check: export the trace a fig binary would write
         // with `--trace-out`, parse it back, and match `run_config`'s
         // per-label seconds.
-        let out = run_config(&RunConfig::new(tiny_problem(), ImplKind::Jit, 4));
+        let out = run_config(&tiny_cfg(ImplKind::Jit, 4)).unwrap();
         for name in ["runner_roundtrip.json", "runner_roundtrip.jsonl"] {
             let path = std::env::temp_dir().join(format!("repro_bench_{name}"));
             crate::traceout::write_trace(&path, &out.traces, out.timeline.as_ref()).unwrap();

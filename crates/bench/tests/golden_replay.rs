@@ -9,6 +9,7 @@ use accel_sim::{
     simulate_node, KernelProfile, NodeConfig, RankTrace, SchedulePolicyKind, Segment, TransferDir,
 };
 use repro_bench::{run_config, RunConfig};
+use scenario::{ProblemSize, Scenario};
 use toast_core::dispatch::ImplKind;
 use toast_satsim::Problem;
 
@@ -66,6 +67,18 @@ fn tiny_problem() -> Problem {
     p.n_det_total = 64;
     p.n_obs = 2;
     p
+}
+
+/// The same configuration as [`tiny_problem`], expressed as a scenario
+/// (the overrides reproduce the mutation above bit for bit).
+fn tiny_scenario(kind: ImplKind, procs: u32) -> Scenario {
+    let mut s = Scenario::new("tiny", ProblemSize::Medium, 2e-3)
+        .with_kind(kind)
+        .with_procs(procs);
+    s.problem.total_samples = Some(5e9 * (64.0 / 2048.0));
+    s.problem.n_det_total = Some(64);
+    s.problem.n_obs = Some(2);
+    s
 }
 
 fn assert_close(actual: f64, expected: f64, what: &str) {
@@ -141,11 +154,23 @@ fn pipeline_node_makespans_match_pre_engine_values() {
         ),
     ];
     for (what, kind, procs, mps, expected) in cases {
-        let mut cfg = RunConfig::new(tiny_problem(), kind, procs);
+        let mut cfg = RunConfig::new(tiny_problem(), kind, procs).expect("valid procs");
         cfg.mps = mps;
-        let out = run_config(&cfg);
+        let out = run_config(&cfg).expect("valid config");
         let wall = out.node_wall.as_ref().expect("fits").to_owned();
         assert_close(wall, expected, what);
+
+        // Differential guard: the same configuration expressed as a
+        // scenario must land on the *same bits*, not merely within 1e-9 —
+        // the golden path and the scenario path are one code path.
+        let s = tiny_scenario(kind, procs).with_mps(mps);
+        let via_scenario = run_config(&RunConfig::from_scenario(&s).expect("valid scenario"))
+            .expect("valid config");
+        assert_eq!(
+            via_scenario.node_wall.expect("fits").to_bits(),
+            wall.to_bits(),
+            "{what}: scenario path diverges from RunConfig path"
+        );
     }
 }
 
@@ -164,10 +189,10 @@ fn cluster_wall(schedule: SchedulePolicyKind) -> f64 {
     // 8 procs on 4 GPUs: two ranks per device, so the arbitration policy
     // actually shapes the makespan (at one rank per GPU all policies
     // coincide).
-    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 8);
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 8).expect("valid procs");
     cfg.nodes = Some(2);
     cfg.schedule = schedule;
-    let out = run_config(&cfg);
+    let out = run_config(&cfg).expect("valid config");
     *out.node_wall.as_ref().expect("fits")
 }
 
@@ -180,6 +205,19 @@ fn cluster_makespans_match_locked_values() {
     ];
     for ((what, schedule), want) in cluster_cases().into_iter().zip(expected) {
         assert_close(cluster_wall(schedule), want, what);
+
+        // Same cluster configuration through the scenario path: the
+        // locked makespans must come out bit-identical.
+        let s = tiny_scenario(ImplKind::OmpTarget, 8)
+            .with_nodes(2)
+            .with_schedule(schedule);
+        let out = run_config(&RunConfig::from_scenario(&s).expect("valid scenario"))
+            .expect("valid config");
+        assert_eq!(
+            out.node_wall.expect("fits").to_bits(),
+            cluster_wall(schedule).to_bits(),
+            "{what}: scenario path diverges from RunConfig path"
+        );
     }
 }
 
@@ -244,9 +282,9 @@ fn capture_golden_values() {
         ("GOLDEN_PIPE_JIT8", ImplKind::Jit, 8, true),
         ("GOLDEN_PIPE_OMP8_NOMPS", ImplKind::OmpTarget, 8, false),
     ] {
-        let mut cfg = RunConfig::new(tiny_problem(), kind, procs);
+        let mut cfg = RunConfig::new(tiny_problem(), kind, procs).expect("valid procs");
         cfg.mps = mps;
-        let out = run_config(&cfg);
+        let out = run_config(&cfg).expect("valid config");
         println!("const {name}: f64 = {:?};", out.node_wall.as_ref().unwrap());
     }
     for (name, schedule) in cluster_cases() {

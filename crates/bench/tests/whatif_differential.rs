@@ -12,6 +12,7 @@ use accel_sim::sweep::{sweep, SweepCalib, SweepSpec};
 use accel_sim::whatif::RecordedWorkload;
 use accel_sim::SchedulePolicyKind;
 use repro_bench::{recorded_workload, run_config, RunConfig};
+use scenario::{ProblemSize, Scenario};
 use toast_core::dispatch::ImplKind;
 use toast_satsim::Problem;
 
@@ -21,6 +22,18 @@ fn tiny_problem() -> Problem {
     p.n_det_total = 64;
     p.n_obs = 2;
     p
+}
+
+/// [`tiny_problem`] expressed as a scenario; the overrides reproduce the
+/// mutation above bit for bit.
+fn tiny_scenario(kind: ImplKind, procs: u32) -> Scenario {
+    let mut s = Scenario::new("tiny", ProblemSize::Medium, 2e-3)
+        .with_kind(kind)
+        .with_procs(procs);
+    s.problem.total_samples = Some(5e9 * (64.0 / 2048.0));
+    s.problem.n_det_total = Some(64);
+    s.problem.n_obs = Some(2);
+    s
 }
 
 const POLICIES: [SchedulePolicyKind; 5] = [
@@ -35,13 +48,13 @@ const POLICIES: [SchedulePolicyKind; 5] = [
 /// and assert the replay reproduces the live run to 1e-9.
 fn assert_identity_replay(nodes: Option<u32>, schedule: SchedulePolicyKind) {
     let what = format!("nodes {nodes:?} schedule {schedule}");
-    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4).expect("valid procs");
     cfg.nodes = nodes;
     cfg.schedule = schedule;
-    let out = run_config(&cfg);
+    let out = run_config(&cfg).expect("valid config");
     let live_wall = *out.node_wall.as_ref().expect("run fits");
 
-    let recorded = recorded_workload(&cfg, &out, &what).expect("recordable");
+    let recorded = recorded_workload(&cfg, &out, &what, None).expect("recordable");
     let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
     assert_eq!(parsed.meta.live_wall_seconds, live_wall, "{what}");
     assert_eq!(parsed.nodes.len(), nodes.unwrap_or(1) as usize, "{what}");
@@ -93,15 +106,53 @@ fn identity_replay_reproduces_two_node_cluster_runs() {
 }
 
 #[test]
+fn scenario_driven_recording_replays_identically_and_embeds_its_scenario() {
+    // The identity oracle through the scenario path: a run configured via
+    // a Scenario must record, round-trip through JSONL, and replay to the
+    // *same bits* as the flag-configured run — and the recording carries
+    // the scenario it came from.
+    let s = tiny_scenario(ImplKind::OmpTarget, 4).with_nodes(2);
+    let via_scenario = RunConfig::from_scenario(&s).expect("valid scenario");
+    let out = run_config(&via_scenario).expect("valid config");
+    let live_wall = *out.node_wall.as_ref().expect("run fits");
+
+    let mut flag_cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4).expect("valid procs");
+    flag_cfg.nodes = Some(2);
+    let flag_wall = *run_config(&flag_cfg)
+        .expect("valid config")
+        .node_wall
+        .as_ref()
+        .expect("run fits");
+    assert_eq!(
+        live_wall.to_bits(),
+        flag_wall.to_bits(),
+        "scenario path diverges from RunConfig path before recording"
+    );
+
+    let recorded =
+        recorded_workload(&via_scenario, &out, "scenario oracle", Some(&s)).expect("recordable");
+    let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
+    let embedded = parsed.meta.scenario.as_deref().expect("scenario embedded");
+    assert_eq!(Scenario::parse(embedded).expect("parses back"), s);
+
+    let replayed = parsed.replay_identity().expect("replay fits");
+    assert_eq!(
+        replayed.cluster.wall_seconds.to_bits(),
+        live_wall.to_bits(),
+        "identity replay of a scenario-driven recording moved the makespan"
+    );
+}
+
+#[test]
 fn non_identity_preset_changes_only_hardware_priced_charges() {
     // The acceptance check for the repricer itself: an H100-like preset
     // replays the *recorded* charges (no kernel numerics re-run — the
     // workload is parsed from JSONL, nothing else is available to it)
     // and speeds up device kernels without touching host-bound labels.
-    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4).expect("valid procs");
     cfg.nodes = Some(2);
-    let out = run_config(&cfg);
-    let recorded = recorded_workload(&cfg, &out, "h100 probe").expect("recordable");
+    let out = run_config(&cfg).expect("valid config");
+    let recorded = recorded_workload(&cfg, &out, "h100 probe", None).expect("recordable");
     let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
 
     let p = accel_sim::whatif::preset("h100").expect("preset");
@@ -134,11 +185,11 @@ fn sweep_identity_point_reproduces_the_live_run() {
     // containing the identity calibration at the recorded gpus/schedule
     // must reproduce the live makespan to 1e-9 — and must be bit-identical
     // to the point-by-point replay_identity it replaces.
-    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4).expect("valid procs");
     cfg.nodes = Some(2);
-    let out = run_config(&cfg);
+    let out = run_config(&cfg).expect("valid config");
     let live_wall = *out.node_wall.as_ref().expect("run fits");
-    let recorded = recorded_workload(&cfg, &out, "sweep oracle").expect("recordable");
+    let recorded = recorded_workload(&cfg, &out, "sweep oracle", None).expect("recordable");
     let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
 
     let result = sweep(&parsed, &SweepSpec::default_grid(&parsed.meta)).expect("sweep");
@@ -170,10 +221,10 @@ fn sweep_preset_points_match_standalone_replays_bitwise() {
     // Every sweep point must equal what `whatif --replay --calib <p>
     // --gpus <n>` computes for the same recording: the batched cost-table
     // path and the trace-level repricer are term-for-term identical.
-    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4);
+    let mut cfg = RunConfig::new(tiny_problem(), ImplKind::OmpTarget, 4).expect("valid procs");
     cfg.nodes = Some(2);
-    let out = run_config(&cfg);
-    let recorded = recorded_workload(&cfg, &out, "sweep vs replay").expect("recordable");
+    let out = run_config(&cfg).expect("valid config");
+    let recorded = recorded_workload(&cfg, &out, "sweep vs replay", None).expect("recordable");
     let parsed = RecordedWorkload::parse_jsonl(&recorded.to_jsonl()).expect("parses");
 
     let spec = SweepSpec {

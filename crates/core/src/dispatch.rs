@@ -90,6 +90,35 @@ impl ImplKind {
     }
 }
 
+impl std::fmt::Display for ImplKind {
+    /// Stable lowercase name — the vocabulary of scenario files and the
+    /// `whatif --impl` flag.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ImplKind::Cpu => "cpu",
+            ImplKind::OmpTarget => "omp",
+            ImplKind::Jit => "jax",
+            ImplKind::JitCpu => "jaxcpu",
+        })
+    }
+}
+
+impl std::str::FromStr for ImplKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cpu" => Ok(ImplKind::Cpu),
+            "omp" | "omptarget" => Ok(ImplKind::OmpTarget),
+            "jax" | "jit" => Ok(ImplKind::Jit),
+            "jaxcpu" | "jitcpu" => Ok(ImplKind::JitCpu),
+            other => Err(format!(
+                "unknown implementation '{other}' (expected cpu, omp, jax or jaxcpu)"
+            )),
+        }
+    }
+}
+
 /// Global default + per-kernel overrides.
 #[derive(Debug, Clone, Default)]
 pub struct ImplSelection {

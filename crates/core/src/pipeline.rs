@@ -95,6 +95,20 @@ impl std::fmt::Display for MovementPolicy {
     }
 }
 
+impl std::str::FromStr for MovementPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tracked" => Ok(MovementPolicy::Tracked),
+            "naive" => Ok(MovementPolicy::Naive),
+            other => Err(format!(
+                "unknown movement policy '{other}' (expected tracked or naive)"
+            )),
+        }
+    }
+}
+
 /// A sequence of operators over one workspace.
 #[derive(Debug, Clone, Default)]
 pub struct Pipeline {

@@ -3,9 +3,13 @@
 //! These exercise the full stack (workload generator → pipelines → node
 //! replay) at reduced size but unchanged structure.
 
-use repro_bench::{run_config, RunConfig};
+use repro_bench::{run_config, RunConfig, RunOutcome};
 use toast_repro::toast_core::dispatch::ImplKind;
 use toast_repro::toast_satsim::Problem;
+
+fn run(p: Problem, kind: ImplKind, procs: u32) -> RunOutcome {
+    run_config(&RunConfig::new(p, kind, procs).expect("valid procs")).expect("valid config")
+}
 
 /// The full medium problem at small scale — expensive, so tests that need
 /// the real memory proportions share it.
@@ -22,7 +26,7 @@ fn medium() -> Problem {
 #[test]
 fn jit_oversubscription_peaks_at_two_processes_per_gpu() {
     let t = |procs| {
-        run_config(&RunConfig::new(medium(), ImplKind::Jit, procs))
+        run(medium(), ImplKind::Jit, procs)
             .runtime()
             .unwrap_or(f64::INFINITY)
     };
@@ -36,12 +40,12 @@ fn jit_oversubscription_peaks_at_two_processes_per_gpu() {
 #[test]
 fn jit_runs_out_of_memory_at_one_process_but_offload_fits() {
     let p = medium();
-    let jit = run_config(&RunConfig::new(p.clone(), ImplKind::Jit, 1));
+    let jit = run(p.clone(), ImplKind::Jit, 1);
     assert!(
         jit.runtime().is_none(),
         "the paper's JAX run does not fit one process on a 40 GB device"
     );
-    let omp = run_config(&RunConfig::new(p, ImplKind::OmpTarget, 1));
+    let omp = run(p, ImplKind::OmpTarget, 1);
     assert!(
         omp.runtime().is_some(),
         "the paper's offload run fits at one process"
@@ -52,26 +56,32 @@ fn jit_runs_out_of_memory_at_one_process_but_offload_fits() {
 fn both_device_ports_run_out_of_memory_at_64_processes() {
     let p = medium();
     for kind in [ImplKind::Jit, ImplKind::OmpTarget] {
-        let out = run_config(&RunConfig::new(p.clone(), kind, 64));
+        let out = run(p.clone(), kind, 64);
         assert!(
             out.runtime().is_none(),
             "{kind:?} at 64 procs should exceed device memory (16 contexts per GPU)"
         );
     }
     // The CPU baseline is unaffected (Fig. 4 plots it at 64).
-    let cpu = run_config(&RunConfig::new(p, ImplKind::Cpu, 64));
+    let cpu = run(p, ImplKind::Cpu, 64);
     assert!(cpu.runtime().is_some());
 }
 
 #[test]
 fn disabling_mps_erases_the_oversubscription_benefit() {
     let p = medium();
-    let mut with_mps = RunConfig::new(p.clone(), ImplKind::OmpTarget, 16);
+    let mut with_mps = RunConfig::new(p.clone(), ImplKind::OmpTarget, 16).expect("valid procs");
     with_mps.mps = true;
     let mut without = with_mps.clone();
     without.mps = false;
-    let t_on = run_config(&with_mps).runtime().unwrap();
-    let t_off = run_config(&without).runtime().unwrap();
+    let t_on = run_config(&with_mps)
+        .expect("valid config")
+        .runtime()
+        .unwrap();
+    let t_off = run_config(&without)
+        .expect("valid config")
+        .runtime()
+        .unwrap();
     assert!(
         t_off > 1.05 * t_on,
         "without MPS the driver context-switches: on {t_on} off {t_off}"
@@ -80,11 +90,7 @@ fn disabling_mps_erases_the_oversubscription_benefit() {
 
 #[test]
 fn the_cpu_curve_falls_with_process_count() {
-    let t = |procs| {
-        run_config(&RunConfig::new(medium(), ImplKind::Cpu, procs))
-            .runtime()
-            .unwrap()
-    };
+    let t = |procs| run(medium(), ImplKind::Cpu, procs).runtime().unwrap();
     let (t1, t16) = (t(1), t(16));
     assert!(
         t16 < 0.5 * t1,
@@ -95,12 +101,8 @@ fn the_cpu_curve_falls_with_process_count() {
 #[test]
 fn the_jit_cpu_backend_is_much_slower_than_the_parallel_baseline() {
     let p = medium();
-    let cpu = run_config(&RunConfig::new(p.clone(), ImplKind::Cpu, 16))
-        .runtime()
-        .unwrap();
-    let jit_cpu = run_config(&RunConfig::new(p, ImplKind::JitCpu, 16))
-        .runtime()
-        .unwrap();
+    let cpu = run(p.clone(), ImplKind::Cpu, 16).runtime().unwrap();
+    let jit_cpu = run(p, ImplKind::JitCpu, 16).runtime().unwrap();
     let ratio = jit_cpu / cpu;
     assert!(
         ratio > 3.0,
