@@ -13,6 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "== cargo deny (licenses, advisories)"
+# Supply-chain gate, configured in deny.toml. The tool is not part of the
+# minimal toolchain image, so skip (loudly) where it is absent.
+if command -v cargo-deny >/dev/null 2>&1; then
+  cargo deny check licenses advisories
+else
+  echo "cargo-deny not installed; skipping (install with: cargo install cargo-deny)"
+fi
+
 echo "== cargo build --release"
 cargo build --release --workspace
 
@@ -35,6 +44,17 @@ for f in scenarios/*.json; do
   cargo run --release -p repro-bench --bin "$bin" -- \
     --scenario "$f" --dump-scenario | diff - "$f" >/dev/null || {
     echo "scenario round-trip failed for $f" >&2
+    exit 1
+  }
+done
+
+echo "== simlint scenario gate (scenarios/*.json)"
+# Every golden scenario must pass the static analyzer with zero
+# error-severity findings (warnings are allowed but printed). Exit 1
+# from the lint binary means an admission-blocking diagnostic.
+for f in scenarios/*.json; do
+  cargo run --release -p repro-bench --bin lint -- --scenario "$f" || {
+    echo "simlint gate failed for $f" >&2
     exit 1
   }
 done
@@ -95,6 +115,12 @@ cargo run --release -p repro-bench --bin whatif -- --replay "$workload" \
 cargo run --release -p repro-bench --bin whatif -- --replay "$workload" --calib h100 \
   | grep "^makespan: " >/dev/null
 
+echo "== record->lint smoke"
+# A fresh recording straight off the runner must pass the workload-level
+# analyzer cleanly (exit 0): the record path may not produce traces the
+# admission gate would reject.
+cargo run --release -p repro-bench --bin lint -- --recording "$workload"
+
 echo "== whatif sweep smoke"
 # The batched Pareto search over the same recording: a small grid with a
 # loose deadline must evaluate points, extract a front and name a winner.
@@ -103,6 +129,22 @@ sweep_out=$(cargo run --release -p repro-bench --bin whatif -- sweep \
 echo "$sweep_out" | grep -E "^sweep: 6 point\(s\), " >/dev/null
 echo "$sweep_out" | grep -E "^pareto front: [1-9][0-9]* point\(s\)" >/dev/null
 echo "$sweep_out" | grep "^best under deadline " >/dev/null
+
+echo "== sweep --preflight bit-identity"
+# The statically-gated sweep must serialize byte-identically to the
+# unpruned sweep over the same grid (the analyzer predicts the exact
+# errors replays would produce).
+cargo run --release -p repro-bench --bin whatif -- sweep \
+  --record "$workload" --gpus 1..4 --calib identity,h100 \
+  --out target/ci_sweep_full.jsonl >/dev/null
+cargo run --release -p repro-bench --bin whatif -- sweep \
+  --record "$workload" --gpus 1..4 --calib identity,h100 --preflight \
+  --out target/ci_sweep_preflight.jsonl | grep " rejected by preflight" >/dev/null
+diff target/ci_sweep_full.jsonl target/ci_sweep_preflight.jsonl || {
+  echo "preflight sweep output diverged from the unpruned sweep" >&2
+  exit 1
+}
+rm -f target/ci_sweep_full.jsonl target/ci_sweep_preflight.jsonl
 rm -f "$workload"
 
 echo "CI OK"

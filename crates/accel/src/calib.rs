@@ -13,6 +13,75 @@
 //!    7.4× slower than parallel C++), the factor is set to land in the
 //!    reported range and is flagged `paper-calibrated` in its doc comment.
 
+/// A calibration field carries a value the cost model cannot price: a
+/// zero or negative bandwidth/throughput turns a roofline division into
+/// an infinity, and a negative or non-finite latency poisons every
+/// derived charge. Raised at construction/intake time by
+/// [`NodeCalib::validate`] and [`NetCalib::validate`] so degenerate
+/// rooflines are rejected with the offending field named instead of
+/// surfacing later as an [`crate::EngineError::NonFiniteCharge`]
+/// mid-replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibError {
+    /// Dotted path of the offending field, e.g. `gpu.pcie_bw`.
+    pub field: &'static str,
+    /// The rejected value.
+    pub value: f64,
+    /// What the field must satisfy.
+    pub constraint: CalibConstraint,
+}
+
+/// The constraint a calibration field violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibConstraint {
+    /// Must be finite and strictly positive (bandwidths, throughputs,
+    /// capacities, saturation points — anything the model divides by).
+    Positive,
+    /// Must be finite and not negative (latencies, overheads, penalty
+    /// factors).
+    NonNegative,
+}
+
+impl std::fmt::Display for CalibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let need = match self.constraint {
+            CalibConstraint::Positive => "a finite value > 0",
+            CalibConstraint::NonNegative => "a finite value >= 0",
+        };
+        write!(
+            f,
+            "calibration field '{}' must be {} (got {})",
+            self.field, need, self.value
+        )
+    }
+}
+
+impl std::error::Error for CalibError {}
+
+fn positive(field: &'static str, value: f64) -> Result<(), CalibError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(CalibError {
+            field,
+            value,
+            constraint: CalibConstraint::Positive,
+        })
+    }
+}
+
+fn non_negative(field: &'static str, value: f64) -> Result<(), CalibError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(CalibError {
+            field,
+            value,
+            constraint: CalibConstraint::NonNegative,
+        })
+    }
+}
+
 /// Cost model of one accelerator (A100-like).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceCalib {
@@ -98,6 +167,21 @@ impl DeviceCalib {
         self.pcie_latency = 5e-6;
         self
     }
+
+    /// Reject values the cost model cannot price (see [`CalibError`]).
+    pub fn validate(&self) -> Result<(), CalibError> {
+        positive("gpu.fp64_peak", self.fp64_peak)?;
+        positive("gpu.hbm_bw", self.hbm_bw)?;
+        positive("gpu.mem_bytes", self.mem_bytes as f64)?;
+        positive("gpu.saturation_items", self.saturation_items)?;
+        positive("gpu.pcie_bw", self.pcie_bw)?;
+        non_negative("gpu.launch_latency", self.launch_latency)?;
+        non_negative("gpu.pcie_latency", self.pcie_latency)?;
+        non_negative("gpu.context_switch", self.context_switch)?;
+        non_negative("gpu.mps_crowding", self.mps_crowding)?;
+        non_negative("gpu.alloc_latency", self.alloc_latency)?;
+        Ok(())
+    }
 }
 
 /// Cost model of the host CPU (64-core AMD Milan-like).
@@ -130,6 +214,18 @@ impl Default for CpuCalib {
             mem_bytes: 256 * (1 << 30) as u64,
             thread_overhead: 0.12,
         }
+    }
+}
+
+impl CpuCalib {
+    /// Reject values the cost model cannot price (see [`CalibError`]).
+    pub fn validate(&self) -> Result<(), CalibError> {
+        positive("cpu.cores", self.cores as f64)?;
+        positive("cpu.core_flops", self.core_flops)?;
+        positive("cpu.socket_bw", self.socket_bw)?;
+        positive("cpu.mem_bytes", self.mem_bytes as f64)?;
+        non_negative("cpu.thread_overhead", self.thread_overhead)?;
+        Ok(())
     }
 }
 
@@ -188,6 +284,27 @@ impl Default for FrameworkCalib {
     }
 }
 
+impl FrameworkCalib {
+    /// Reject values the cost model cannot price (see [`CalibError`]).
+    pub fn validate(&self) -> Result<(), CalibError> {
+        non_negative("framework.jit_dispatch", self.jit_dispatch)?;
+        non_negative("framework.jit_compile", self.jit_compile)?;
+        non_negative("framework.omp_region", self.omp_region)?;
+        positive("framework.jit_mem_overhead", self.jit_mem_overhead)?;
+        non_negative(
+            "framework.jit_process_device_bytes",
+            self.jit_process_device_bytes,
+        )?;
+        non_negative(
+            "framework.omp_process_device_bytes",
+            self.omp_process_device_bytes,
+        )?;
+        positive("framework.jit_runtime_factor", self.jit_runtime_factor)?;
+        positive("framework.jit_cpu_backend_eff", self.jit_cpu_backend_eff)?;
+        Ok(())
+    }
+}
+
 /// Full node calibration: CPU + identical GPUs + framework factors.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NodeCalib {
@@ -205,7 +322,7 @@ impl NodeCalib {
     /// context switches), every capacity (device and host memory) and the
     /// device's saturation point scale *with* the data, so that simulated
     /// runtimes are exactly `work_scale ×` the paper-scale runtimes and
-    /// every reported *ratio* is scale-invariant. See DESIGN.md § 8.
+    /// every reported *ratio* is scale-invariant. See DESIGN.md § 9.
     pub fn scaled(work_scale: f64) -> Self {
         Self::default().rescaled(work_scale)
     }
@@ -231,6 +348,19 @@ impl NodeCalib {
         c.framework.omp_process_device_bytes *= work_scale;
         self
     }
+
+    /// Reject a calibration the cost model cannot price: non-positive
+    /// bandwidths/throughputs/capacities and negative or non-finite
+    /// latencies, each named by its dotted field path. Scenario intake
+    /// (`Scenario::validate` in the `scenario` crate) and the static
+    /// analyzer both call this, so a degenerate roofline is a typed
+    /// admission error instead of a mid-replay `NonFiniteCharge`.
+    pub fn validate(&self) -> Result<(), CalibError> {
+        self.cpu.validate()?;
+        self.gpu.validate()?;
+        self.framework.validate()?;
+        Ok(())
+    }
 }
 
 /// Interconnect model for multi-node runs (Slingshot-like).
@@ -252,6 +382,13 @@ impl Default for NetCalib {
 }
 
 impl NetCalib {
+    /// Reject values the cost model cannot price (see [`CalibError`]).
+    pub fn validate(&self) -> Result<(), CalibError> {
+        positive("net.bw", self.bw)?;
+        non_negative("net.latency", self.latency)?;
+        Ok(())
+    }
+
     /// Perlmutter's interconnect at measurement time: Slingshot-10
     /// (~12.5 GB/s per NIC). The default.
     pub fn slingshot10() -> Self {
@@ -364,6 +501,60 @@ mod tests {
         // Work-scale rescaling must not move the price (ratios of runs at
         // different scales stay comparable).
         assert_eq!(relative_node_price(&h100.rescaled(1e-3), &ss10), h);
+    }
+
+    #[test]
+    fn every_preset_validates() {
+        for gpu in [
+            DeviceCalib::a100(),
+            DeviceCalib::h100(),
+            DeviceCalib::a100().with_nvlink_host_link(),
+            DeviceCalib::h100().with_nvlink_host_link(),
+        ] {
+            let node = NodeCalib {
+                gpu,
+                ..NodeCalib::default()
+            };
+            node.validate().expect("preset calibration is priceable");
+            node.rescaled(1e-3)
+                .validate()
+                .expect("rescaled preset is priceable");
+        }
+        NetCalib::slingshot10().validate().expect("ss10");
+        NetCalib::slingshot11().validate().expect("ss11");
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let mut node = NodeCalib::default();
+        node.gpu.pcie_bw = 0.0;
+        let err = node.validate().unwrap_err();
+        assert_eq!(err.field, "gpu.pcie_bw");
+        assert_eq!(err.constraint, CalibConstraint::Positive);
+        assert!(err.to_string().contains("'gpu.pcie_bw'"));
+        assert!(err.to_string().contains("> 0"));
+
+        let mut node = NodeCalib::default();
+        node.gpu.launch_latency = -1.0;
+        assert_eq!(node.validate().unwrap_err().field, "gpu.launch_latency");
+
+        let mut node = NodeCalib::default();
+        node.cpu.core_flops = f64::NAN;
+        assert_eq!(node.validate().unwrap_err().field, "cpu.core_flops");
+
+        let mut node = NodeCalib::default();
+        node.framework.jit_runtime_factor = -2.0;
+        assert_eq!(
+            node.validate().unwrap_err().field,
+            "framework.jit_runtime_factor"
+        );
+
+        let net = NetCalib {
+            bw: f64::INFINITY,
+            ..NetCalib::default()
+        };
+        let err = net.validate().unwrap_err();
+        assert_eq!(err.field, "net.bw");
     }
 
     #[test]

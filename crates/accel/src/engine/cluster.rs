@@ -209,21 +209,37 @@ mod tests {
     }
 
     #[test]
-    fn ragged_collective_counts_do_not_deadlock() {
-        // One rank performs two collectives, the other only one: the
-        // second barrier expects a single participant.
+    fn ragged_collective_counts_deadlock_and_name_the_waiter() {
+        // One rank performs two collectives, the other only one: under
+        // MPI semantics the second barrier waits on a rank that already
+        // finished its collectives, so the job hangs. The typed error
+        // names who is stuck and at which collective.
         let cfg = NodeConfig::default();
         let s = 0.001;
         let a = trace(vec![coll(s), coll(s)]);
         let b = trace(vec![coll(s)]);
-        let res = simulate_cluster(&[vec![a, b]], &cfg).unwrap();
-        // First collective: both share the NIC (2s); second: alone (s).
-        assert!(
-            (res.wall_seconds - 3.0 * s).abs() < 1e-9,
-            "{} vs {}",
-            res.wall_seconds,
-            3.0 * s
+        let err = simulate_cluster(&[vec![a, b]], &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Deadlock {
+                blocked: 1,
+                waiting: vec![(0, "mpi_allreduce".into())],
+            }
         );
+        assert!(err.to_string().contains("rank 0 at 'mpi_allreduce'"));
+    }
+
+    #[test]
+    fn collective_free_ranks_do_not_join_barriers() {
+        // A rank with no collectives at all is outside the collective
+        // communicator: peers synchronise without it.
+        let cfg = NodeConfig::default();
+        let s = 0.001;
+        let a = trace(vec![coll(s)]);
+        let b = trace(vec![coll(s)]);
+        let c = trace(vec![host(10.0 * s)]);
+        let res = simulate_cluster(&[vec![a, b, c]], &cfg).unwrap();
+        assert!(res.wall_seconds >= 10.0 * s);
     }
 
     #[test]

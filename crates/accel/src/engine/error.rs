@@ -39,8 +39,33 @@ pub enum EngineError {
     Deadlock {
         /// Number of ranks left blocked.
         blocked: usize,
+        /// The blocked ranks in global rank order: `(rank, collective
+        /// label)` for every rank stuck at the barrier.
+        waiting: Vec<(usize, String)>,
     },
 }
+
+/// Render the blocked-rank roster of a deadlock: `rank 1 at
+/// 'mpi_allreduce', rank 3 at ...`, capped at [`DEADLOCK_ROSTER_CAP`]
+/// entries. Shared by the runtime [`EngineError::Deadlock`] display and
+/// the static analyzer's deadlock diagnostic so the two reports are
+/// directly comparable.
+pub fn fmt_deadlock_roster(waiting: &[(usize, String)]) -> String {
+    let mut out = String::new();
+    for (i, (rank, label)) in waiting.iter().take(DEADLOCK_ROSTER_CAP).enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("rank {rank} at '{label}'"));
+    }
+    if waiting.len() > DEADLOCK_ROSTER_CAP {
+        out.push_str(&format!(", +{} more", waiting.len() - DEADLOCK_ROSTER_CAP));
+    }
+    out
+}
+
+/// Most waiting ranks named individually in a deadlock report.
+pub const DEADLOCK_ROSTER_CAP: usize = 4;
 
 impl EngineError {
     /// The OOM details, if this is an out-of-memory failure.
@@ -70,10 +95,16 @@ impl std::fmt::Display for EngineError {
                 "rank {rank} {} flow completed with an empty stream",
                 flow.name()
             ),
-            EngineError::Deadlock { blocked } => write!(
-                f,
-                "replay deadlocked: {blocked} rank(s) blocked with no pending event"
-            ),
+            EngineError::Deadlock { blocked, waiting } => {
+                write!(
+                    f,
+                    "replay deadlocked: {blocked} rank(s) blocked at a collective barrier that can never fill"
+                )?;
+                if !waiting.is_empty() {
+                    write!(f, " ({})", fmt_deadlock_roster(waiting))?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -115,8 +146,31 @@ mod tests {
         };
         assert!(e.to_string().contains("rank 1 segment 4"));
         assert!(e.to_string().contains("NaN"));
-        let e = EngineError::Deadlock { blocked: 2 };
+        let e = EngineError::Deadlock {
+            blocked: 2,
+            waiting: vec![(1, "mpi_allreduce".into()), (3, "mpi_allreduce".into())],
+        };
         assert!(e.to_string().contains("2 rank(s)"));
+        assert!(e.to_string().contains("rank 1 at 'mpi_allreduce'"));
+        assert!(e.to_string().contains("rank 3 at 'mpi_allreduce'"));
+    }
+
+    #[test]
+    fn deadlock_roster_caps_long_lists() {
+        let waiting: Vec<(usize, String)> =
+            (0..7).map(|r| (r, "mpi_allreduce".to_string())).collect();
+        let roster = fmt_deadlock_roster(&waiting);
+        assert!(roster.contains("rank 3 at 'mpi_allreduce'"));
+        assert!(!roster.contains("rank 4"));
+        assert!(roster.ends_with("+3 more"));
+        let e = EngineError::Deadlock {
+            blocked: 7,
+            waiting: Vec::new(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "replay deadlocked: 7 rank(s) blocked at a collective barrier that can never fill"
+        );
     }
 
     #[test]

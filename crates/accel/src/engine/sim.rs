@@ -48,9 +48,12 @@
 //!   soon as all of its participants in the earliest unreleased barrier
 //!   have arrived; the coordinator then releases that barrier at the
 //!   global max arrival time and resumes the shards. Shards with *no*
-//!   participants left run to completion — participation in barrier
-//!   `s` implies participation in every earlier barrier, so such ranks
-//!   can never be coupled to another node again.
+//!   collective participants run to completion — their ranks are never
+//!   coupled to another node. Following MPI semantics, every barrier
+//!   expects the full participant set (all ranks with at least one
+//!   collective segment); a participant that cannot arrive — its trace
+//!   ran out of collectives — leaves the barrier short forever and the
+//!   replay reports [`EngineError::Deadlock`] naming the waiting ranks.
 //!
 //! # Determinism contract
 //!
@@ -166,8 +169,9 @@ pub(crate) struct CNode {
     pub(crate) seg_base: usize,
     pub(crate) seg_len: usize,
     pub(crate) ranks: Vec<CRank>,
-    /// Local participants per barrier seq (ranks with more collective
-    /// segments than the seq index).
+    /// Local participants per barrier seq — the node's full collective
+    /// participant count at every seq (MPI semantics: a collective
+    /// involves everyone who does collectives).
     pub(crate) local_expected: Vec<u32>,
     /// Convergence guard for the event loop, sized from the trace.
     pub(crate) step_limit: usize,
@@ -328,14 +332,14 @@ impl CompiledWorkload {
             }
             let max_local_seq =
                 ranks.iter().map(|r| r.collectives_total).max().unwrap_or(0) as usize;
-            let local_expected: Vec<u32> = (0..max_local_seq)
-                .map(|s| {
-                    ranks
-                        .iter()
-                        .filter(|r| r.collectives_total as usize > s)
-                        .count() as u32
-                })
-                .collect();
+            // MPI semantics: a collective involves every rank that takes
+            // part in collectives at all, so each barrier expects the
+            // full local participant set. A participant whose trace runs
+            // out of collectives early leaves later barriers short — the
+            // replay then reports a deadlock naming the waiting ranks,
+            // exactly as the real job would hang.
+            let participants = ranks.iter().filter(|r| r.collectives_total > 0).count() as u32;
+            let local_expected: Vec<u32> = vec![participants; max_local_seq];
             let step_limit = 20
                 * ranks
                     .iter()
@@ -350,6 +354,18 @@ impl CompiledWorkload {
                 local_expected,
                 step_limit,
             });
+        }
+        // Barriers are global: pad every node's expectation vector to the
+        // job-wide barrier count so a node whose ranks run out of
+        // collectives early still owes its participants to later
+        // barriers (cross-node ragged jobs deadlock like intra-node
+        // ones).
+        let global_seq = nodes.iter().map(|n| n.local_expected.len()).max();
+        if let Some(global_seq) = global_seq {
+            for node in &mut nodes {
+                let participants = node.local_expected.first().copied().unwrap_or(0);
+                node.local_expected.resize(global_seq, participants);
+            }
         }
         Ok(Self {
             labels,
@@ -707,9 +723,10 @@ pub(crate) fn simulate_compiled(
         ));
         rank_base += node.ranks.len();
     }
-    // Barrier groups: collective `s` involves every rank whose trace
-    // contains more than `s` collective segments, so symmetric jobs
-    // synchronise globally and ragged traces cannot deadlock.
+    // Barrier groups: collective `s` involves every rank that performs
+    // collectives at all (MPI semantics), so symmetric jobs synchronise
+    // globally and a ragged trace — one rank finishing its collectives
+    // while peers still wait — deadlocks, as the real job would.
     let max_seq = shards
         .iter()
         .map(|s| s.local_expected.len())
@@ -758,18 +775,15 @@ pub(crate) fn simulate_compiled(
         let Some(seq) = target else {
             // No barriers left and every queue drained: anything not
             // Done is stuck for good.
-            let blocked = blocked_ranks(&shards);
-            if blocked > 0 {
-                return Err(EngineError::Deadlock { blocked });
+            if blocked_ranks(&shards) > 0 {
+                return Err(deadlock_error(&shards, &compiled.labels));
             }
             break;
         };
         let group = &groups[seq as usize];
         if group.arrived < group.expected {
             // Every shard quiesced, yet the frontier barrier is short.
-            return Err(EngineError::Deadlock {
-                blocked: blocked_ranks(&shards),
-            });
+            return Err(deadlock_error(&shards, &compiled.labels));
         }
         let release_at = group.max_arrival;
         for shard in &mut shards {
@@ -787,6 +801,28 @@ fn blocked_ranks(shards: &[Shard<'_>]) -> usize {
         .flat_map(|s| &s.ranks)
         .filter(|r| !matches!(r.activity, Act::Done))
         .count()
+}
+
+/// Assemble the deadlock report: every non-Done rank counts as blocked,
+/// and the ones stuck *at a barrier* are named with the collective label
+/// they wait under, in global rank order (shards are walked in node
+/// order, ranks ascending, so the roster is deterministic).
+fn deadlock_error(shards: &[Shard<'_>], labels: &LabelTable) -> EngineError {
+    let mut waiting = Vec::new();
+    for shard in shards {
+        for (local, rank) in shard.ranks.iter().enumerate() {
+            if matches!(rank.activity, Act::Barrier { .. }) {
+                waiting.push((
+                    shard.rank_base + local,
+                    labels.resolve(rank.cur_label).to_string(),
+                ));
+            }
+        }
+    }
+    EngineError::Deadlock {
+        blocked: blocked_ranks(shards),
+        waiting,
+    }
 }
 
 /// Concatenate per-shard results in node order and resolve interned

@@ -39,7 +39,17 @@
 //! entire calibration × GPU-count × schedule grid (each point materializes
 //! only a per-calibration cost vector), with lower-bound pruning against a
 //! deadline and Pareto-front extraction over makespan vs hardware cost.
+//!
+//! Everything the engine would reject at replay time is also *statically
+//! decidable* from the recorded work description: [`analyze`] checks a
+//! workload without executing any events (collective/barrier matching,
+//! peak-residency OOM prediction, cost sanity) and emits typed
+//! [`analyze::Diagnostic`]s — the admission filter in front of the
+//! engine. See `DESIGN.md` § 7.
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 pub mod calib;
 pub mod comm;
 pub mod context;
@@ -50,7 +60,11 @@ pub mod sweep;
 pub mod trace;
 pub mod whatif;
 
-pub use calib::{CpuCalib, DeviceCalib, NetCalib, NodeCalib};
+pub use analyze::{
+    check_calib, check_workload, check_workload_under, AnalyzeConfig, Code, Diagnostic, Locus,
+    Report, Severity,
+};
+pub use calib::{CalibConstraint, CalibError, CpuCalib, DeviceCalib, NetCalib, NodeCalib};
 pub use context::{Context, MemoryError};
 pub use engine::{
     simulate_cluster, simulate_cluster_traced, ClusterResult, EngineError, SchedulePolicy,
@@ -61,6 +75,6 @@ pub use node::{
     TimelineEvent, TimelineKind,
 };
 pub use profile::KernelProfile;
-pub use sweep::{sweep, SweepCalib, SweepPoint, SweepResult, SweepSpec};
+pub use sweep::{sweep, sweep_preflight, SweepCalib, SweepPoint, SweepResult, SweepSpec};
 pub use trace::{RankTrace, Segment, SpanEvent, SpanKind, TransferDir};
 pub use whatif::{RecordMeta, RecordedWorkload, Replayed, UnknownPreset, WhatifCalib, WhatifError};

@@ -253,6 +253,11 @@ pub struct SweepResult {
     pub evaluated: usize,
     /// Points skipped by the lower-bound pruner.
     pub pruned: usize,
+    /// Points rejected statically by [`sweep_preflight`] without a
+    /// replay (always `0` for [`sweep`]). Deliberately *not* serialized:
+    /// a rejected point carries the same error text a replay would, so
+    /// the JSONL output stays bit-identical across the two modes.
+    pub rejected: usize,
 }
 
 impl SweepResult {
@@ -401,6 +406,28 @@ pub(crate) fn lower_bound(
 /// fails the whole sweep; per-point failures (OOM, a preset deriving a
 /// non-finite cost) are captured on their [`SweepPoint`].
 pub fn sweep(workload: &RecordedWorkload, spec: &SweepSpec) -> Result<SweepResult, EngineError> {
+    sweep_impl(workload, spec, false)
+}
+
+/// [`sweep`] with the static pre-flight gate enabled: before replaying a
+/// point, the analyzer's exact predictors (`analyze::predict_oom`,
+/// `analyze::predict_deadlock`) decide whether the engine would reject
+/// it. Statically-rejected points skip the replay entirely and record
+/// the *same* error text the replay would have produced, so the
+/// serialized output is bit-identical to [`sweep`]'s — only wall-clock
+/// time and [`SweepResult::rejected`] differ.
+pub fn sweep_preflight(
+    workload: &RecordedWorkload,
+    spec: &SweepSpec,
+) -> Result<SweepResult, EngineError> {
+    sweep_impl(workload, spec, true)
+}
+
+fn sweep_impl(
+    workload: &RecordedWorkload,
+    spec: &SweepSpec,
+    preflight: bool,
+) -> Result<SweepResult, EngineError> {
     let slices: Vec<&[RankTrace]> = workload.nodes.iter().map(|v| v.as_slice()).collect();
     let compiled = CompiledWorkload::compile(&slices)?;
     let meta = &workload.meta;
@@ -435,6 +462,19 @@ pub fn sweep(workload: &RecordedWorkload, spec: &SweepSpec) -> Result<SweepResul
         }
     }
 
+    // Pre-flight: the deadlock verdict is a property of the workload
+    // alone (it depends on neither calibration nor GPU count), so it is
+    // decided once here; the OOM verdict depends on (calibration, gpus)
+    // and is re-derived per point inside the fan-out. Both predictors
+    // replicate the engine's own checks exactly, so the recorded error
+    // text matches what a replay would have produced.
+    let predicted_deadlock: Option<String> = if preflight {
+        crate::analyze::predict_deadlock(&workload.nodes).map(|e| e.to_string())
+    } else {
+        None
+    };
+    let rejected = std::sync::atomic::AtomicUsize::new(0);
+
     let per_calib = spec.gpus.len() * spec.schedules.len();
     points.par_iter_mut().enumerate().for_each(|(i, pt)| {
         let calib = &spec.calibs[i / per_calib];
@@ -449,6 +489,20 @@ pub fn sweep(workload: &RecordedWorkload, spec: &SweepSpec) -> Result<SweepResul
         if let Some(deadline) = spec.deadline {
             if pt.lower_bound > deadline {
                 pt.pruned = true;
+                return;
+            }
+        }
+        if preflight {
+            // Same order as the engine: the OOM admission check runs
+            // before the first event, a deadlock only after replaying
+            // to quiescence.
+            let verdict =
+                crate::analyze::predict_oom(&workload.nodes, calib.node.gpu.mem_bytes, pt.gpus)
+                    .map(|e| e.to_string())
+                    .or_else(|| predicted_deadlock.clone());
+            if let Some(e) = verdict {
+                pt.error = Some(e);
+                rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return;
             }
         }
@@ -497,6 +551,7 @@ pub fn sweep(workload: &RecordedWorkload, spec: &SweepSpec) -> Result<SweepResul
         compiled_segments: compiled.segment_count(),
         evaluated,
         pruned,
+        rejected: rejected.into_inner(),
     })
 }
 
@@ -744,6 +799,69 @@ mod tests {
         assert_eq!(res.evaluated, 1);
         // The errored point cannot be on the front.
         assert_eq!(res.pareto, vec![1]);
+    }
+
+    #[test]
+    fn preflight_is_bit_identical_on_grids_with_oom_points() {
+        let mut w = sample_workload();
+        for trace in w.nodes.iter_mut().flatten() {
+            trace.peak_device_bytes = 30 << 30;
+        }
+        // gpus=1 stacks 4 ranks (~120 GB) on one device: infeasible
+        // under both the 40 GB identity calibration and the 80 GB h100.
+        let spec = SweepSpec {
+            calibs: vec![
+                SweepCalib::resolve("identity", &w.meta).unwrap(),
+                SweepCalib::resolve("h100", &w.meta).unwrap(),
+            ],
+            gpus: vec![1, 4],
+            schedules: vec![SchedulePolicyKind::Auto],
+            deadline: None,
+        };
+        let full = sweep(&w, &spec).unwrap();
+        let pre = sweep_preflight(&w, &spec).unwrap();
+        assert_eq!(full.rejected, 0);
+        assert_eq!(pre.rejected, 2);
+        assert_eq!(pre.evaluated, full.evaluated);
+        // The acceptance bar: identical serialized output, down to the
+        // error text on the statically-rejected points.
+        assert_eq!(full.to_jsonl(), pre.to_jsonl());
+    }
+
+    #[test]
+    fn preflight_is_bit_identical_on_deadlocking_workloads() {
+        let mut w = sample_workload();
+        // One extra collective on rank 0 makes the job ragged: every
+        // grid point now deadlocks at replay time.
+        w.nodes[0][0].segments.push(Segment::Collective {
+            seconds: 1e-3,
+            bytes: 1e6,
+            label: "mpi_allreduce".into(),
+        });
+        let spec = SweepSpec {
+            calibs: vec![SweepCalib::resolve("identity", &w.meta).unwrap()],
+            gpus: vec![2, 4],
+            schedules: vec![SchedulePolicyKind::Auto, SchedulePolicyKind::Fifo],
+            deadline: None,
+        };
+        let full = sweep(&w, &spec).unwrap();
+        let pre = sweep_preflight(&w, &spec).unwrap();
+        assert_eq!(pre.rejected, spec.point_count());
+        assert!(full
+            .points
+            .iter()
+            .all(|p| p.error.as_deref().is_some_and(|e| e.contains("deadlock"))));
+        assert_eq!(full.to_jsonl(), pre.to_jsonl());
+    }
+
+    #[test]
+    fn preflight_is_a_no_op_on_clean_grids() {
+        let w = sample_workload();
+        let spec = SweepSpec::default_grid(&w.meta);
+        let full = sweep(&w, &spec).unwrap();
+        let pre = sweep_preflight(&w, &spec).unwrap();
+        assert_eq!(pre.rejected, 0);
+        assert_eq!(full.to_jsonl(), pre.to_jsonl());
     }
 
     #[test]

@@ -50,13 +50,38 @@ fn decode_segment((kind, a, b): (u8, f64, f64)) -> Segment {
 }
 
 fn workload_from_specs(specs: Vec<Vec<(u8, f64, f64)>>) -> RecordedWorkload {
-    let ranks: Vec<RankTrace> = specs
+    let mut ranks: Vec<RankTrace> = specs
         .into_iter()
         .map(|segs| RankTrace {
             segments: segs.into_iter().map(decode_segment).collect(),
             ..RankTrace::default()
         })
         .collect();
+    // Barriers follow MPI semantics: every rank that performs
+    // collectives must perform the same number of them or the replay
+    // deadlocks. Pad short ranks with extra collectives so the
+    // generated job is symmetric (raggedness is exercised by the
+    // analyzer's adversarial suite, not here).
+    let max_collectives = ranks
+        .iter()
+        .map(|r| {
+            r.segments
+                .iter()
+                .filter(|s| matches!(s, Segment::Collective { .. }))
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+    for rank in &mut ranks {
+        let have = rank
+            .segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Collective { .. }))
+            .count();
+        for _ in have..max_collectives {
+            rank.segments.push(decode_segment((4, 1e-3, 1e6)));
+        }
+    }
     RecordedWorkload {
         meta: RecordMeta {
             total_ranks: 8,

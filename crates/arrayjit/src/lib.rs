@@ -39,6 +39,8 @@
 //! assert_eq!(out[0].as_f64(), &[3.5, 6.5]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod array;
 pub mod compile;
 pub mod exec;

@@ -36,6 +36,7 @@
 //! whatif sweep --record <path> [--grid gpus=2..8;calib=identity,h100;schedule=mps,fifo]
 //!              [--gpus 2..8] [--calib a100,h100] [--schedule mps,fifo]
 //!              [--deadline <seconds>] [--out <jsonl>] [--dump-scenarios]
+//!              [--preflight]
 //! ```
 //!
 //! One workload compile serves the whole grid; each point only
@@ -47,7 +48,11 @@
 //! range to `--replay`'s `--calib`/`--gpus` routes to the same sweep.
 //! `--dump-scenarios` prints the grid as one scenario per line (compact
 //! JSON, derived from the recording's embedded scenario) instead of
-//! replaying anything.
+//! replaying anything. `--preflight` runs the static analyzer's exact
+//! OOM/deadlock predictors on each point first and skips the replay of
+//! statically-rejected points; the output (including `--out` JSONL) is
+//! bit-identical to the unpruned sweep because the predicted errors are
+//! the very errors the replays would have produced.
 
 use std::path::Path;
 use std::process::exit;
@@ -65,7 +70,7 @@ fn main() {
         let path = arg_value("--record").or_else(|| arg_value("--replay"));
         let Some(path) = path else {
             eprintln!(
-                "usage: whatif sweep --record <workload.jsonl> [--grid ...] [--deadline <s>]"
+                "usage: whatif sweep --record <workload.jsonl> [--grid ...] [--deadline <s>] [--preflight]"
             );
             exit(2);
         };
@@ -319,11 +324,23 @@ fn sweep_cmd(path: &str) {
             .map_or(String::new(), |d| format!(", deadline {d:?} s")),
     );
 
-    let result = accel_sim::sweep::sweep(&workload, &spec).unwrap_or_else(|e| {
+    let preflight = has_flag("--preflight");
+    let run = if preflight {
+        accel_sim::sweep::sweep_preflight
+    } else {
+        accel_sim::sweep::sweep
+    };
+    let result = run(&workload, &spec).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         exit(1);
     });
     report_sweep(&result, meta.live_wall_seconds);
+    if preflight {
+        println!(
+            "{} point(s) rejected by preflight without a replay",
+            result.rejected
+        );
+    }
 
     if let Some(out) = arg_value("--out") {
         if let Err(e) = std::fs::write(&out, result.to_jsonl()) {

@@ -23,6 +23,8 @@
 //! measured for all of them, and `scenarios/` holds the golden scenario
 //! file behind each one.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod metrics;
 pub mod report;

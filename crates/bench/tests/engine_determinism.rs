@@ -46,13 +46,15 @@ fn coll(seconds: f64, label: &str) -> Segment {
 }
 
 /// A deliberately awkward 2-node scenario: asymmetric rank durations,
-/// kernels of different occupancies, overlapped transfers, and *ragged*
-/// collective counts (one rank performs an extra allreduce), so barrier
-/// release, stream synchronisation and shard merging all execute.
+/// kernels of different occupancies, overlapped transfers, and skewed
+/// per-rank collective charges (barriers follow MPI semantics, so every
+/// rank performs the same *count* of collectives but arrives at wildly
+/// different times), so barrier release, stream synchronisation and
+/// shard merging all execute.
 fn scenario() -> Vec<Vec<RankTrace>> {
     let mk = |node: usize, local: usize| {
         let f = 1.0 + 0.3 * (node * 3 + local) as f64;
-        let mut segs = vec![
+        let segs = vec![
             host(0.004 * f),
             transfer(8e7 * f, TransferDir::HostToDevice),
             kernel(1e9, 30.0 * f, 1e-5),
@@ -61,10 +63,8 @@ fn scenario() -> Vec<Vec<RankTrace>> {
             kernel(3e4, 80.0, 1e-5),
             transfer(4e7 * f, TransferDir::DeviceToHost),
             coll(0.001, "mpi_allreduce_amp"),
+            coll(0.0015 * f, "mpi_allreduce_extra"),
         ];
-        if node == 0 && local == 0 {
-            segs.push(coll(0.0015, "mpi_allreduce_extra"));
-        }
         RankTrace {
             segments: segs,
             ..RankTrace::default()

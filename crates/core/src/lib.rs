@@ -19,6 +19,8 @@
 //! between implementations) while device timing is charged to the
 //! [`accel_sim`] cost model — see the workspace DESIGN.md.
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod dispatch;
 pub mod kernels;

@@ -24,6 +24,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod psd;
 pub mod transform;

@@ -26,6 +26,8 @@
 //! assert!(pix < 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ang;
 pub mod convert;
 pub mod nest;

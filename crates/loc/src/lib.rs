@@ -11,6 +11,8 @@
 //! `toast-core/src/kernels/` exists precisely so these figures can be
 //! regenerated from the source tree).
 
+#![forbid(unsafe_code)]
+
 pub mod count;
 pub mod inventory;
 

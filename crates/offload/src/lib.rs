@@ -20,6 +20,8 @@
 //! fused: what you launch is what runs, with low per-region overhead but
 //! manual data movement — the trade-off the paper measures.
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod map;
 pub mod pool;

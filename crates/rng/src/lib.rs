@@ -26,6 +26,8 @@
 //! assert_eq!(a, b);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod counter;
 pub mod dist;
 pub mod threefry;

@@ -16,6 +16,8 @@
 //!   (5·10¹⁰ samples) configurations with a documented scale factor, and
 //!   per-rank workspace construction.
 
+#![forbid(unsafe_code)]
+
 pub mod focalplane;
 pub mod noise;
 pub mod problem;

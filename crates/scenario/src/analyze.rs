@@ -1,0 +1,197 @@
+//! Scenario-level static analysis — `simlint`'s pre-run surface.
+//!
+//! A [`Scenario`] describes a run that has not happened yet, so unlike
+//! the workload passes in `accel_sim::analyze` there is no recorded
+//! trace to prove things against. These checks are instead judgments on
+//! the *description*: layouts that are self-contradictory (`S001`,
+//! error), layouts that are legal but almost certainly not what the
+//! author meant (`S002`–`S004`, warnings), calibrations the cost model
+//! cannot price (`S005`, error, shared with the workload checker), and
+//! device reservations that provably cannot fit before a single kernel
+//! launches (`S006`, error).
+
+use accel_sim::analyze::{check_calib, Code, Diagnostic, Locus, Report};
+
+use crate::{ImplKind, Scenario};
+
+/// Statically check a scenario. Deterministic: findings appear in fixed
+/// order (procs, layout, overlap, calibration, reservations).
+pub fn check_scenario(scenario: &Scenario) -> Report {
+    let mut diagnostics = Vec::new();
+
+    if let Err(e) = scenario.threads() {
+        diagnostics.push(
+            Diagnostic::error(
+                Code::InfeasibleProcs,
+                Locus::field("procs_per_node"),
+                e.to_string(),
+            )
+            .with_suggestion("pick a procs_per_node that divides the node's cores"),
+        );
+    }
+
+    let gpus = scenario.gpus.max(1);
+    let procs = scenario.procs_per_node;
+    if procs > 0 && gpus > procs {
+        diagnostics.push(
+            Diagnostic::warn(
+                Code::IdleGpus,
+                Locus::field("gpus"),
+                format!(
+                    "{gpus} GPU(s) per node but only {procs} rank(s): {} device(s) per node are provably idle",
+                    gpus - procs
+                ),
+            )
+            .with_suggestion("lower gpus, or raise procs_per_node"),
+        );
+    }
+    if !scenario.mps && procs > gpus {
+        diagnostics.push(
+            Diagnostic::warn(
+                Code::OversubscribedNoMps,
+                Locus::field("mps"),
+                format!(
+                    "{procs} rank(s) share {gpus} GPU(s) without MPS: every kernel pays the full context-switch cost (paper § 3.1.2)",
+                ),
+            )
+            .with_suggestion("set mps: true, or run at most one rank per GPU"),
+        );
+    }
+
+    if scenario.overlap_transfers && matches!(scenario.kind, ImplKind::Cpu | ImplKind::JitCpu) {
+        diagnostics.push(Diagnostic::warn(
+            Code::OverlapWithoutTransfers,
+            Locus::field("overlap_transfers"),
+            format!(
+                "overlap_transfers is enabled but the '{:?}' implementation runs on the host and records no device transfers; the flag cannot change the result",
+                scenario.kind
+            ),
+        ));
+    }
+
+    match scenario.resolved_calib() {
+        Err(e) => {
+            diagnostics.push(Diagnostic::error(
+                Code::DegenerateCalib,
+                Locus::field("calib"),
+                e.to_string(),
+            ));
+        }
+        Ok((node, net)) => {
+            let calib_findings = check_calib(&node, &net);
+            let calib_ok = calib_findings.is_empty();
+            diagnostics.extend(calib_findings);
+
+            // S006: the framework's fixed per-process device reservation
+            // (JIT preallocation / OMP runtime image) is charged per
+            // resident rank before any kernel data. If the reservations
+            // alone exceed device memory the run cannot start — provable
+            // from the description, no trace needed.
+            let per_proc = match scenario.kind {
+                ImplKind::Jit => node.framework.jit_process_device_bytes,
+                ImplKind::OmpTarget => node.framework.omp_process_device_bytes,
+                ImplKind::Cpu | ImplKind::JitCpu => 0.0,
+            };
+            if calib_ok && per_proc > 0.0 && procs > 0 {
+                let ranks_per_gpu = procs.div_ceil(gpus);
+                let reserved = ranks_per_gpu as f64 * per_proc;
+                let capacity = node.gpu.mem_bytes as f64;
+                if reserved > capacity {
+                    diagnostics.push(
+                        Diagnostic::error(
+                            Code::ReservationsExceedMemory,
+                            Locus::field("procs_per_node"),
+                            format!(
+                                "{ranks_per_gpu} rank(s) per GPU each reserve {per_proc:.3e} B of device memory ({reserved:.3e} B total) but the GPU holds {capacity:.3e} B; the run is out of memory before the first kernel",
+                            ),
+                        )
+                        .with_suggestion("lower procs_per_node, raise gpus, or pick a larger-memory calibration"),
+                    );
+                }
+            }
+        }
+    }
+
+    Report { diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetCalib, NodeCalib, ProblemSize};
+    use accel_sim::analyze::Severity;
+
+    fn base() -> Scenario {
+        Scenario::new("lint-test", ProblemSize::Medium, 1e-3)
+    }
+
+    #[test]
+    fn the_default_scenario_is_clean() {
+        let report = check_scenario(&base());
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn infeasible_procs_is_an_error() {
+        let report = check_scenario(&base().with_procs(7));
+        assert!(!report.is_clean());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::InfeasibleProcs)
+            .expect("S001");
+        assert_eq!(d.locus.field.as_deref(), Some("procs_per_node"));
+    }
+
+    #[test]
+    fn layout_lints_warn_but_admit() {
+        let report = check_scenario(&base().with_procs(2).with_gpus(4));
+        assert!(report.is_clean());
+        assert!(report.has(Code::IdleGpus));
+
+        let report = check_scenario(&base().with_procs(16).with_gpus(4).with_mps(false));
+        assert!(report.is_clean());
+        assert!(report.has(Code::OversubscribedNoMps));
+    }
+
+    #[test]
+    fn overlap_on_a_host_port_is_pointless() {
+        let report = check_scenario(&base().with_kind(ImplKind::Cpu).with_overlap(true));
+        assert!(report.has(Code::OverlapWithoutTransfers));
+        // A device port with overlap is fine.
+        let report = check_scenario(&base().with_kind(ImplKind::Jit).with_overlap(true));
+        assert!(!report.has(Code::OverlapWithoutTransfers));
+    }
+
+    #[test]
+    fn degenerate_inline_calibration_is_rejected() {
+        let mut node = NodeCalib::default();
+        node.gpu.hbm_bw = 0.0;
+        let report = check_scenario(&base().with_calib_inline(node, NetCalib::default()));
+        assert!(!report.is_clean());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::DegenerateCalib)
+            .expect("S005");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.locus.field.as_deref(), Some("gpu.hbm_bw"));
+    }
+
+    #[test]
+    fn provable_reservation_overflow_is_an_error() {
+        // 64 JIT ranks on one GPU: 64 × 2.2 GB of fixed reservations
+        // against a 40 GB device (unscaled default calibration).
+        let s = base()
+            .with_kind(ImplKind::Jit)
+            .with_procs(64)
+            .with_gpus(1)
+            .with_calib_inline(NodeCalib::default(), NetCalib::default());
+        let report = check_scenario(&s);
+        assert!(!report.is_clean());
+        assert!(report.has(Code::ReservationsExceedMemory));
+        // Spreading the same ranks over 8 GPUs fits.
+        let s = s.with_gpus(8);
+        assert!(!check_scenario(&s).has(Code::ReservationsExceedMemory));
+    }
+}

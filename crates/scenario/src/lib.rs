@@ -18,6 +18,8 @@
 //! story — a file written by a newer schema fails loudly instead of
 //! silently dropping the knob an experiment depended on.
 
+#![forbid(unsafe_code)]
+
 use std::io::Read as _;
 use std::path::Path;
 use std::str::FromStr;
@@ -25,7 +27,10 @@ use std::str::FromStr;
 use accel_sim::whatif::preset;
 use accel_sim::{CpuCalib, DeviceCalib, SweepSpec};
 
+pub mod analyze;
 pub mod json;
+
+pub use analyze::check_scenario;
 
 use json::{as_bool, as_f64, as_int, as_str, Fields, Value};
 
@@ -349,6 +354,14 @@ impl Scenario {
         }
         if let CalibSpec::Preset(name) = &self.calib {
             preset(name)?;
+        }
+        // The calibration gate: a roofline the cost model cannot price
+        // (zero bandwidth, NaN throughput, …) is rejected here, naming
+        // the field, instead of surfacing as a NonFiniteCharge replay
+        // error long after the scenario was accepted.
+        let (node, net) = self.resolved_calib()?;
+        if let Err(e) = node.validate().and_then(|()| net.validate()) {
+            return invalid(&format!("calib.{}", e.field), e.to_string());
         }
         Ok(())
     }

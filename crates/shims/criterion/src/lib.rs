@@ -7,6 +7,8 @@
 //! and prints mean time per iteration (plus throughput when declared).
 //! There is no statistical analysis, plotting, or HTML report.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export-compatible opaque black box. `std::hint::black_box` is the

@@ -8,6 +8,8 @@
 //! `prop_assume!` rejection and `prop_assert*!` reporting the failing
 //! condition. There is no shrinking — a failure reports the raw case.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Cases run per property test.

@@ -12,6 +12,8 @@
 //! wall time. Only host-side wall time of the harness itself is lost, and
 //! the tier-1 suite stays fast enough without it.
 
+#![forbid(unsafe_code)]
+
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSliceMut, SliceParIterMut};
 }

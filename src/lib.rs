@@ -3,6 +3,8 @@
 //! Re-exports every sub-crate so the runnable examples and the
 //! cross-crate integration tests under `tests/` have a single import root.
 
+#![forbid(unsafe_code)]
+
 pub use accel_sim;
 pub use arrayjit;
 pub use loc_count;
