@@ -145,6 +145,67 @@ diff target/ci_sweep_full.jsonl target/ci_sweep_preflight.jsonl || {
   exit 1
 }
 rm -f target/ci_sweep_full.jsonl target/ci_sweep_preflight.jsonl
+
+echo "== simd serve smoke (example job stream, admission accept/reject)"
+# The worked example under scenarios/ must run end to end: every job
+# admitted and completed. A mangled scenario (procs that do not divide
+# the cores) must be rejected at admission with the typed reason, and a
+# rejection must not take the service down.
+simd=target/release/simd
+serve_out=$("$simd" < scenarios/serve_jobs.ndjson)
+[ "$(echo "$serve_out" | grep -c '"state":"done"')" = 2 ] || {
+  echo "serve_jobs.ndjson did not complete both jobs:" >&2
+  echo "$serve_out" >&2
+  exit 1
+}
+reject_out=$( {
+  jq -c '{type:"submit", id:"ci-reject", scenario:(.procs_per_node=7 | .output={})}' \
+    scenarios/whatif_record.json
+  echo '{"type":"stats"}'
+} | "$simd")
+echo "$reject_out" | grep '"id":"ci-reject","state":"rejected","reason":"invalid"' >/dev/null
+echo "$reject_out" | grep '"rejected_invalid":1' >/dev/null
+
+echo "== simd checkpoint kill/resume differential"
+# A sweep SIGKILLed at a checkpoint boundary and resumed must produce
+# output byte-identical to the uninterrupted run.
+ckdir="target/ci_simd_ckpt"
+rm -rf "$ckdir" target/ci_simd_a.jsonl target/ci_simd_b.jsonl
+mkdir -p "$ckdir"
+sweep_req() {
+  printf '{"type":"sweep","id":"ci-sweep","recording":"%s","grid":"gpus=1..6;calib=identity,a100,h100","out":"%s"}\n' \
+    "$workload" "$1"
+}
+sweep_req target/ci_simd_a.jsonl | "$simd" >/dev/null
+mkfifo "$ckdir/in"
+SIMD_SERVE_CHUNK_SLEEP_MS=2000 "$simd" --checkpoint-dir "$ckdir" --checkpoint-every 4 \
+  < "$ckdir/in" > "$ckdir/log" &
+simd_pid=$!
+exec 9>"$ckdir/in"
+sweep_req target/ci_simd_b.jsonl >&9
+echo '{"type":"drain"}' >&9
+for _ in $(seq 1 100); do
+  grep -q '"state":"checkpoint"' "$ckdir/log" 2>/dev/null && break
+  sleep 0.1
+done
+kill -9 "$simd_pid" 2>/dev/null || true
+wait "$simd_pid" 2>/dev/null || true
+exec 9>&-
+[ -f "$ckdir/ci-sweep.ckpt.jsonl" ] || {
+  echo "killed simd left no checkpoint cursor" >&2
+  exit 1
+}
+sweep_req target/ci_simd_b.jsonl \
+  | "$simd" --checkpoint-dir "$ckdir" --checkpoint-every 4 --resume \
+  | grep -E '"state":"running".*"resumed":[1-9]' >/dev/null || {
+  echo "resumed simd did not adopt the cursor" >&2
+  exit 1
+}
+diff target/ci_simd_a.jsonl target/ci_simd_b.jsonl || {
+  echo "resumed sweep output diverged from the uninterrupted run" >&2
+  exit 1
+}
+rm -rf "$ckdir" target/ci_simd_a.jsonl target/ci_simd_b.jsonl
 rm -f "$workload"
 
 echo "CI OK"

@@ -322,7 +322,7 @@ impl NodeCalib {
     /// context switches), every capacity (device and host memory) and the
     /// device's saturation point scale *with* the data, so that simulated
     /// runtimes are exactly `work_scale ×` the paper-scale runtimes and
-    /// every reported *ratio* is scale-invariant. See DESIGN.md § 9.
+    /// every reported *ratio* is scale-invariant. See DESIGN.md § 10.
     pub fn scaled(work_scale: f64) -> Self {
         Self::default().rescaled(work_scale)
     }

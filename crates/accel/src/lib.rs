@@ -75,6 +75,9 @@ pub use node::{
     TimelineEvent, TimelineKind,
 };
 pub use profile::KernelProfile;
-pub use sweep::{sweep, sweep_preflight, SweepCalib, SweepPoint, SweepResult, SweepSpec};
+pub use sweep::{
+    sweep, sweep_digest, sweep_preflight, sweep_resumable, workload_digest, CompiledSweep,
+    SweepCalib, SweepCheckpoint, SweepPoint, SweepResult, SweepResumeError, SweepSpec,
+};
 pub use trace::{RankTrace, Segment, SpanEvent, SpanKind, TransferDir};
 pub use whatif::{RecordMeta, RecordedWorkload, Replayed, UnknownPreset, WhatifCalib, WhatifError};

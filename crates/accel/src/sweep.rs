@@ -37,6 +37,19 @@
 //! [`crate::whatif::RecordedWorkload::replay_identity`], and any preset
 //! point is bit-identical to a standalone `replay` of that preset — the
 //! differential oracle extended to the batched path.
+//!
+//! For long-running callers (the serve layer) the module also exposes
+//! the sweep in resumable form: [`CompiledSweep`] separates the
+//! compile-once arena from grid evaluation so many jobs sharing a
+//! recording share one compile, and [`CompiledSweep::run_resumable`]
+//! evaluates the grid in chunks, surfacing the completed prefix after
+//! each chunk as a [`SweepCheckpoint`] cursor (lossless JSONL, guarded
+//! by a content digest). Because every grid point is a pure function of
+//! (workload, spec), a sweep resumed from any cursor produces a result
+//! byte-identical to an uninterrupted run.
+
+use std::io;
+use std::path::Path;
 
 use rayon::prelude::*;
 
@@ -45,7 +58,10 @@ use crate::engine::sim::{simulate_compiled, CSeg, CompiledWorkload, Reprice};
 use crate::engine::{EngineError, SchedulePolicyKind};
 use crate::node::NodeConfig;
 use crate::trace::RankTrace;
-use crate::whatif::{esc, num, preset, presets, RecordMeta, RecordedWorkload, UnknownPreset};
+use crate::whatif::{
+    bool_field, esc, int_field, num, num_field, parse_err, preset, presets, str_field, RecordMeta,
+    RecordedWorkload, UnknownPreset, WhatifError,
+};
 
 /// One calibration axis value of a sweep grid: a resolved node + network
 /// calibration under a CLI-visible name (`identity` or a preset name),
@@ -210,7 +226,7 @@ pub fn parse_schedules(s: &str) -> Result<Vec<SchedulePolicyKind>, String> {
 }
 
 /// One evaluated (or pruned) grid point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Calibration name (`identity` or a preset).
     pub calib: String,
@@ -231,6 +247,67 @@ pub struct SweepPoint {
     /// Replay failure (e.g. the configuration does not fit in device
     /// memory), kept per-point so one OOM cannot abort the sweep.
     pub error: Option<String>,
+}
+
+impl SweepPoint {
+    /// One `point` JSONL object, exactly the line [`SweepResult::to_jsonl`]
+    /// writes. `pareto` is a property of the whole result, not the point,
+    /// so the caller supplies it (checkpoints write `false`).
+    pub fn to_json(&self, pareto: bool) -> String {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".into(), num);
+        let mut out = format!(
+            concat!(
+                "{{\"type\":\"point\",\"calib\":\"{}\",\"gpus\":{},\"schedule\":\"{}\",",
+                "\"lower_bound\":{},\"pruned\":{},\"makespan\":{},\"cost\":{},\"pareto\":{}"
+            ),
+            esc(&self.calib),
+            self.gpus,
+            self.schedule,
+            num(self.lower_bound),
+            self.pruned,
+            opt(self.makespan),
+            opt(self.cost),
+            pareto,
+        );
+        if let Some(e) = &self.error {
+            out.push_str(&format!(",\"error\":\"{}\"", esc(e)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse a `point` line back (the checkpoint reader). Lossless: the
+    /// shortest-round-trip float encoding restores the exact bits, so a
+    /// parsed point re-serializes byte-identically. The `pareto` field is
+    /// ignored — front membership is recomputed when the sweep finishes.
+    pub fn parse(line: &str, ln: usize) -> Result<Self, WhatifError> {
+        let calib = str_field(line, "calib")
+            .ok_or_else(|| parse_err(ln, "missing string field 'calib'"))?;
+        let gpus = int_field(line, "gpus", ln)?;
+        let schedule: SchedulePolicyKind = str_field(line, "schedule")
+            .ok_or_else(|| parse_err(ln, "missing string field 'schedule'"))?
+            .parse()
+            .map_err(|e: String| parse_err(ln, e))?;
+        let lower_bound = num_field(line, "lower_bound", ln)?;
+        let pruned = bool_field(line, "pruned", ln)?;
+        let opt = |field: &str| -> Result<Option<f64>, WhatifError> {
+            if line.contains(&format!("\"{field}\":null")) {
+                Ok(None)
+            } else {
+                num_field(line, field, ln).map(Some)
+            }
+        };
+        Ok(SweepPoint {
+            calib,
+            gpus,
+            schedule,
+            lower_bound,
+            makespan: opt("makespan")?,
+            cost: opt("cost")?,
+            pruned,
+            error: str_field(line, "error"),
+        })
+    }
 }
 
 /// What a sweep produced: every point in deterministic grid order
@@ -280,27 +357,201 @@ impl SweepResult {
             self.compiled_segments,
         ));
         for (i, p) in self.points.iter().enumerate() {
-            let opt = |v: Option<f64>| v.map_or_else(|| "null".into(), num);
-            out.push_str(&format!(
-                concat!(
-                    "{{\"type\":\"point\",\"calib\":\"{}\",\"gpus\":{},\"schedule\":\"{}\",",
-                    "\"lower_bound\":{},\"pruned\":{},\"makespan\":{},\"cost\":{},\"pareto\":{}"
-                ),
-                esc(&p.calib),
-                p.gpus,
-                p.schedule,
-                num(p.lower_bound),
-                p.pruned,
-                opt(p.makespan),
-                opt(p.cost),
-                self.pareto.contains(&i),
-            ));
-            if let Some(e) = &p.error {
-                out.push_str(&format!(",\"error\":\"{}\"", esc(e)));
-            }
-            out.push_str("}\n");
+            out.push_str(&p.to_json(self.pareto.contains(&i)));
+            out.push('\n');
         }
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint cursor
+// ---------------------------------------------------------------------------
+
+/// A sweep cursor: the first `points.len()` grid points of a sweep, in
+/// grid order, already evaluated. Serialized as lossless JSONL (one
+/// header line, then the same `point` lines the sweep result uses), so a
+/// killed sweep resumes from the cursor and still produces output
+/// byte-identical to an uninterrupted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCheckpoint {
+    /// Grid size of the full sweep — a cursor for a different grid shape
+    /// is refused at parse time.
+    pub total: usize,
+    /// [`sweep_digest`] of the (workload, spec) the cursor belongs to;
+    /// resuming callers compare it before adopting the cursor.
+    pub digest: u64,
+    /// Completed prefix, grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepCheckpoint {
+    /// Serialize: one `sweep_checkpoint` header line, then one `point`
+    /// line per completed grid point. Deterministic byte-for-byte.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!(
+            concat!(
+                "{{\"type\":\"sweep_checkpoint\",\"version\":1,\"digest\":{},",
+                "\"total\":{},\"completed\":{}}}\n"
+            ),
+            self.digest,
+            self.total,
+            self.points.len(),
+        );
+        for p in &self.points {
+            out.push_str(&p.to_json(false));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a serialized cursor. Typed errors on malformed lines, a
+    /// version this build does not read, or a cursor whose declared
+    /// `completed` count disagrees with the point lines it carries (a
+    /// torn write — the atomic [`SweepCheckpoint::write`] never produces
+    /// one, but a cursor is exactly the file one reads after a crash).
+    pub fn parse_jsonl(text: &str) -> Result<Self, WhatifError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| parse_err(1, "empty checkpoint"))?;
+        if !header.contains("\"type\":\"sweep_checkpoint\"") {
+            return Err(parse_err(1, "not a sweep checkpoint (bad header line)"));
+        }
+        let version: u64 = int_field(header, "version", 1)?;
+        if version != 1 {
+            return Err(parse_err(
+                1,
+                format!("unsupported checkpoint version {version} (this build reads version 1)"),
+            ));
+        }
+        let digest: u64 = int_field(header, "digest", 1)?;
+        let total: usize = int_field(header, "total", 1)?;
+        let completed: usize = int_field(header, "completed", 1)?;
+        if completed > total {
+            return Err(parse_err(
+                1,
+                format!("checkpoint cursor {completed} exceeds grid size {total}"),
+            ));
+        }
+        let mut points = Vec::with_capacity(completed);
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            points.push(SweepPoint::parse(line, i + 1)?);
+        }
+        if points.len() != completed {
+            return Err(parse_err(
+                1,
+                format!(
+                    "checkpoint declares {completed} completed points but carries {}",
+                    points.len()
+                ),
+            ));
+        }
+        Ok(SweepCheckpoint {
+            total,
+            digest,
+            points,
+        })
+    }
+
+    /// Read a cursor file.
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, WhatifError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse_jsonl(&text)
+    }
+
+    /// Atomic write (tmp + rename): a kill mid-write never leaves a torn
+    /// cursor behind, only the previous complete one.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_jsonl())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Content digest of a recording: FNV-1a over its serialized JSONL. The
+/// serve layer coalesces queued sweep jobs by this key, so two paths to
+/// identical recording bytes share one compile.
+pub fn workload_digest(workload: &RecordedWorkload) -> u64 {
+    fnv1a(0xcbf2_9ce4_8422_2325, workload.to_jsonl().as_bytes())
+}
+
+/// Identity of a (workload, grid) pair. A resume checks the cursor's
+/// digest against the job's before adopting it, so a checkpoint written
+/// for different inputs is never spliced into a sweep.
+pub fn sweep_digest(workload: &RecordedWorkload, spec: &SweepSpec) -> u64 {
+    let mut h = workload_digest(workload);
+    for c in &spec.calibs {
+        h = fnv1a(h, c.name.as_bytes());
+        h = fnv1a(h, b",");
+    }
+    h = fnv1a(h, b";");
+    for g in &spec.gpus {
+        h = fnv1a(h, g.to_string().as_bytes());
+        h = fnv1a(h, b",");
+    }
+    h = fnv1a(h, b";");
+    for s in &spec.schedules {
+        h = fnv1a(h, s.to_string().as_bytes());
+        h = fnv1a(h, b",");
+    }
+    h = fnv1a(h, b";");
+    if let Some(d) = spec.deadline {
+        h = fnv1a(h, num(d).as_bytes());
+    }
+    h
+}
+
+/// Why a resumed sweep refused its cursor (or failed to compile).
+#[derive(Debug)]
+pub enum SweepResumeError {
+    /// The workload's traces failed to compile.
+    Engine(EngineError),
+    /// The cursor carries more points than the grid enumerates.
+    CursorBeyondGrid { completed: usize, total: usize },
+    /// A completed point's (calib, gpus, schedule) key does not match
+    /// its grid slot — the cursor belongs to a different spec.
+    CursorMismatch {
+        index: usize,
+        expected: String,
+        found: String,
+    },
+}
+
+impl std::fmt::Display for SweepResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepResumeError::Engine(e) => write!(f, "{e}"),
+            SweepResumeError::CursorBeyondGrid { completed, total } => write!(
+                f,
+                "checkpoint cursor has {completed} completed points but the grid has only {total}"
+            ),
+            SweepResumeError::CursorMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint point {index} is {found} but the grid expects {expected} there"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepResumeError {}
+
+impl From<EngineError> for SweepResumeError {
+    fn from(e: EngineError) -> Self {
+        SweepResumeError::Engine(e)
     }
 }
 
@@ -428,97 +679,237 @@ fn sweep_impl(
     spec: &SweepSpec,
     preflight: bool,
 ) -> Result<SweepResult, EngineError> {
-    let slices: Vec<&[RankTrace]> = workload.nodes.iter().map(|v| v.as_slice()).collect();
-    let compiled = CompiledWorkload::compile(&slices)?;
-    let meta = &workload.meta;
-    let nodes = workload.nodes.len().max(1);
-
-    // One cost table per calibration, shared across the gpus × schedule
-    // sub-grid. A broken calibration poisons only its own points.
-    let tables: Vec<Result<Vec<CSeg>, EngineError>> = spec
-        .calibs
-        .iter()
-        .map(|c| compiled.cost_table(&c.node.gpu, &reprice_for(meta, c)))
-        .collect();
-
-    // Pre-allocate every point in grid order (calibration-major); the
-    // parallel fan-out below writes only its own slot, so output order —
-    // and therefore the serialized result — is thread-count-independent.
-    let mut points: Vec<SweepPoint> = Vec::with_capacity(spec.point_count());
-    for c in &spec.calibs {
-        for &g in &spec.gpus {
-            for &s in &spec.schedules {
-                points.push(SweepPoint {
-                    calib: c.name.clone(),
-                    gpus: g,
-                    schedule: s,
-                    lower_bound: 0.0,
-                    makespan: None,
-                    cost: None,
-                    pruned: false,
-                    error: None,
-                });
-            }
-        }
-    }
-
+    let cs = CompiledSweep::compile(workload)?;
+    let ctx = GridCtx::new(&cs, spec);
+    let rejected = std::sync::atomic::AtomicUsize::new(0);
     // Pre-flight: the deadlock verdict is a property of the workload
     // alone (it depends on neither calibration nor GPU count), so it is
     // decided once here; the OOM verdict depends on (calibration, gpus)
     // and is re-derived per point inside the fan-out. Both predictors
     // replicate the engine's own checks exactly, so the recorded error
     // text matches what a replay would have produced.
-    let predicted_deadlock: Option<String> = if preflight {
-        crate::analyze::predict_deadlock(&workload.nodes).map(|e| e.to_string())
-    } else {
-        None
-    };
-    let rejected = std::sync::atomic::AtomicUsize::new(0);
+    let pre = preflight.then(|| Preflight {
+        nodes: &workload.nodes,
+        deadlock: crate::analyze::predict_deadlock(&workload.nodes).map(|e| e.to_string()),
+        rejected: &rejected,
+    });
+    let mut points = ctx.blank_points();
+    points
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, pt)| ctx.eval(i, pt, pre.as_ref()));
+    Ok(ctx.finish(points, rejected.into_inner()))
+}
 
-    let per_calib = spec.gpus.len() * spec.schedules.len();
-    points.par_iter_mut().enumerate().for_each(|(i, pt)| {
-        let calib = &spec.calibs[i / per_calib];
-        let costs = match &tables[i / per_calib] {
+/// A workload compiled once into the engine's calibration-invariant
+/// arena, ready to evaluate many grids. This is the serve layer's
+/// coalescing unit: queued sweep jobs that share a recording share one
+/// `CompiledSweep`, so the segment-graph build and label interning are
+/// paid once per batch rather than once per job.
+pub struct CompiledSweep<'w> {
+    workload: &'w RecordedWorkload,
+    compiled: CompiledWorkload,
+}
+
+impl<'w> CompiledSweep<'w> {
+    /// Compile the recording's traces into the shared arena.
+    pub fn compile(workload: &'w RecordedWorkload) -> Result<Self, EngineError> {
+        let slices: Vec<&[RankTrace]> = workload.nodes.iter().map(|v| v.as_slice()).collect();
+        let compiled = CompiledWorkload::compile(&slices)?;
+        Ok(Self { workload, compiled })
+    }
+
+    /// Arena entries shared by every grid point.
+    pub fn segment_count(&self) -> usize {
+        self.compiled.segment_count()
+    }
+
+    /// Evaluate a full grid against the shared arena — [`sweep`] minus
+    /// the compile.
+    pub fn run(&self, spec: &SweepSpec) -> SweepResult {
+        let ctx = GridCtx::new(self, spec);
+        let mut points = ctx.blank_points();
+        points
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, pt)| ctx.eval(i, pt, None));
+        ctx.finish(points, 0)
+    }
+
+    /// [`CompiledSweep::run`] in resumable chunks: adopt an
+    /// already-evaluated grid prefix (`completed`, typically a parsed
+    /// [`SweepCheckpoint`]), evaluate the rest `chunk` points at a time,
+    /// and hand the full completed prefix to `on_checkpoint` after every
+    /// chunk. Each grid point is a pure function of (workload, spec), so
+    /// the result — and its serialized bytes — are identical for every
+    /// (cursor, chunk size) combination, including the uninterrupted
+    /// `completed = []` run. The cursor's point *keys* are verified
+    /// against their grid slots; a mismatch is a typed error, never a
+    /// silently wrong sweep.
+    pub fn run_resumable(
+        &self,
+        spec: &SweepSpec,
+        completed: &[SweepPoint],
+        chunk: usize,
+        on_checkpoint: &mut dyn FnMut(&[SweepPoint]),
+    ) -> Result<SweepResult, SweepResumeError> {
+        let ctx = GridCtx::new(self, spec);
+        let mut points = ctx.blank_points();
+        let total = points.len();
+        if completed.len() > total {
+            return Err(SweepResumeError::CursorBeyondGrid {
+                completed: completed.len(),
+                total,
+            });
+        }
+        let key = |p: &SweepPoint| format!("{}/{}gpus/{}", p.calib, p.gpus, p.schedule);
+        for (i, done) in completed.iter().enumerate() {
+            let want = &points[i];
+            if done.calib != want.calib || done.gpus != want.gpus || done.schedule != want.schedule
+            {
+                return Err(SweepResumeError::CursorMismatch {
+                    index: i,
+                    expected: key(want),
+                    found: key(done),
+                });
+            }
+            points[i] = done.clone();
+        }
+        let chunk = chunk.max(1);
+        let mut hi = completed.len();
+        while hi < total {
+            let lo = hi;
+            hi = (lo + chunk).min(total);
+            points[lo..hi]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(j, pt)| ctx.eval(lo + j, pt, None));
+            on_checkpoint(&points[..hi]);
+        }
+        Ok(ctx.finish(points, 0))
+    }
+}
+
+/// Resumable sweep over a fresh compile — the one-shot convenience form
+/// of [`CompiledSweep::run_resumable`].
+pub fn sweep_resumable(
+    workload: &RecordedWorkload,
+    spec: &SweepSpec,
+    completed: &[SweepPoint],
+    chunk: usize,
+    on_checkpoint: &mut dyn FnMut(&[SweepPoint]),
+) -> Result<SweepResult, SweepResumeError> {
+    CompiledSweep::compile(workload)?.run_resumable(spec, completed, chunk, on_checkpoint)
+}
+
+/// The static pre-flight context threaded through [`GridCtx::eval`] by
+/// [`sweep_preflight`].
+struct Preflight<'a> {
+    nodes: &'a [Vec<RankTrace>],
+    deadlock: Option<String>,
+    rejected: &'a std::sync::atomic::AtomicUsize,
+}
+
+/// Everything one grid evaluation needs: the shared arena, one cost
+/// table per calibration, and the spec. Both the all-at-once fan-out and
+/// the chunked resumable path go through the same [`GridCtx::eval`] and
+/// [`GridCtx::finish`], which is what makes them bit-identical.
+struct GridCtx<'a> {
+    spec: &'a SweepSpec,
+    meta: &'a RecordMeta,
+    compiled: &'a CompiledWorkload,
+    /// One cost table per calibration, shared across the gpus × schedule
+    /// sub-grid. A broken calibration poisons only its own points.
+    tables: Vec<Result<Vec<CSeg>, EngineError>>,
+    per_calib: usize,
+    nodes: usize,
+}
+
+impl<'a> GridCtx<'a> {
+    fn new(cs: &'a CompiledSweep<'_>, spec: &'a SweepSpec) -> Self {
+        let meta = &cs.workload.meta;
+        let tables = spec
+            .calibs
+            .iter()
+            .map(|c| cs.compiled.cost_table(&c.node.gpu, &reprice_for(meta, c)))
+            .collect();
+        GridCtx {
+            spec,
+            meta,
+            compiled: &cs.compiled,
+            tables,
+            per_calib: spec.gpus.len() * spec.schedules.len(),
+            nodes: cs.workload.nodes.len().max(1),
+        }
+    }
+
+    /// Pre-allocate every point in grid order (calibration-major); the
+    /// parallel fan-out writes only its own slot, so output order — and
+    /// therefore the serialized result — is thread-count-independent.
+    fn blank_points(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.spec.point_count());
+        for c in &self.spec.calibs {
+            for &g in &self.spec.gpus {
+                for &s in &self.spec.schedules {
+                    points.push(SweepPoint {
+                        calib: c.name.clone(),
+                        gpus: g,
+                        schedule: s,
+                        lower_bound: 0.0,
+                        makespan: None,
+                        cost: None,
+                        pruned: false,
+                        error: None,
+                    });
+                }
+            }
+        }
+        points
+    }
+
+    fn eval(&self, i: usize, pt: &mut SweepPoint, pre: Option<&Preflight<'_>>) {
+        let calib = &self.spec.calibs[i / self.per_calib];
+        let costs = match &self.tables[i / self.per_calib] {
             Ok(t) => t,
             Err(e) => {
                 pt.error = Some(e.to_string());
                 return;
             }
         };
-        pt.lower_bound = lower_bound(&compiled, costs, pt.gpus, meta.overlap_transfers);
-        if let Some(deadline) = spec.deadline {
+        pt.lower_bound = lower_bound(self.compiled, costs, pt.gpus, self.meta.overlap_transfers);
+        if let Some(deadline) = self.spec.deadline {
             if pt.lower_bound > deadline {
                 pt.pruned = true;
                 return;
             }
         }
-        if preflight {
+        if let Some(pre) = pre {
             // Same order as the engine: the OOM admission check runs
             // before the first event, a deadlock only after replaying
             // to quiescence.
-            let verdict =
-                crate::analyze::predict_oom(&workload.nodes, calib.node.gpu.mem_bytes, pt.gpus)
-                    .map(|e| e.to_string())
-                    .or_else(|| predicted_deadlock.clone());
+            let verdict = crate::analyze::predict_oom(pre.nodes, calib.node.gpu.mem_bytes, pt.gpus)
+                .map(|e| e.to_string())
+                .or_else(|| pre.deadlock.clone());
             if let Some(e) = verdict {
                 pt.error = Some(e);
-                rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                pre.rejected
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return;
             }
         }
         let cfg = NodeConfig {
             calib: calib.node,
             gpus: pt.gpus,
-            mps: meta.mps,
+            mps: self.meta.mps,
             schedule: pt.schedule,
-            overlap_transfers: meta.overlap_transfers,
+            overlap_transfers: self.meta.overlap_transfers,
         };
-        match simulate_compiled(&compiled, costs, &cfg, false) {
+        match simulate_compiled(self.compiled, costs, &cfg, false) {
             Ok(out) => {
                 let makespan = out.wall_seconds();
                 pt.makespan = Some(makespan);
                 pt.cost = Some(
-                    nodes as f64
+                    self.nodes as f64
                         * pt.gpus as f64
                         * relative_node_price(&calib.node, &calib.net)
                         * makespan,
@@ -526,33 +917,35 @@ fn sweep_impl(
             }
             Err(e) => pt.error = Some(e.to_string()),
         }
-    });
+    }
 
-    let pareto = pareto_front(&points);
-    let best_under_deadline = spec.deadline.and_then(|d| {
-        points
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.makespan.is_some_and(|m| m <= d))
-            .min_by(|(ai, a), (bi, b)| {
-                (a.cost, a.makespan, ai)
-                    .partial_cmp(&(b.cost, b.makespan, bi))
-                    .expect("evaluated points have finite cost/makespan")
-            })
-            .map(|(i, _)| i)
-    });
-    let evaluated = points.iter().filter(|p| p.makespan.is_some()).count();
-    let pruned = points.iter().filter(|p| p.pruned).count();
-    Ok(SweepResult {
-        points,
-        pareto,
-        best_under_deadline,
-        deadline: spec.deadline,
-        compiled_segments: compiled.segment_count(),
-        evaluated,
-        pruned,
-        rejected: rejected.into_inner(),
-    })
+    fn finish(&self, points: Vec<SweepPoint>, rejected: usize) -> SweepResult {
+        let pareto = pareto_front(&points);
+        let best_under_deadline = self.spec.deadline.and_then(|d| {
+            points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.makespan.is_some_and(|m| m <= d))
+                .min_by(|(ai, a), (bi, b)| {
+                    (a.cost, a.makespan, ai)
+                        .partial_cmp(&(b.cost, b.makespan, bi))
+                        .expect("evaluated points have finite cost/makespan")
+                })
+                .map(|(i, _)| i)
+        });
+        let evaluated = points.iter().filter(|p| p.makespan.is_some()).count();
+        let pruned = points.iter().filter(|p| p.pruned).count();
+        SweepResult {
+            points,
+            pareto,
+            best_under_deadline,
+            deadline: self.spec.deadline,
+            compiled_segments: self.compiled.segment_count(),
+            evaluated,
+            pruned,
+            rejected,
+        }
+    }
 }
 
 /// Indices of the non-dominated evaluated points over (makespan, cost):
@@ -910,6 +1303,99 @@ mod tests {
         // Empty spec keeps the defaults.
         let spec = SweepSpec::parse_grid("", &meta).unwrap();
         assert_eq!(spec.calibs.len(), 1 + presets().len());
+    }
+
+    #[test]
+    fn resumable_sweep_is_bit_identical_from_every_cursor() {
+        let w = sample_workload();
+        let mut spec = SweepSpec::default_grid(&w.meta);
+        spec.gpus = vec![1, 2, 4];
+        spec.schedules = vec![SchedulePolicyKind::Auto, SchedulePolicyKind::Fifo];
+        let oracle = sweep(&w, &spec).unwrap().to_jsonl();
+        let total = spec.point_count();
+        let cs = CompiledSweep::compile(&w).unwrap();
+        for chunk in [1, 3, 7, total, total + 5] {
+            // Uninterrupted chunked run.
+            let mut cursors: Vec<Vec<SweepPoint>> = Vec::new();
+            let res = cs
+                .run_resumable(&spec, &[], chunk, &mut |pts| cursors.push(pts.to_vec()))
+                .unwrap();
+            assert_eq!(res.to_jsonl(), oracle, "chunk={chunk}");
+            assert_eq!(cursors.last().unwrap().len(), total);
+            // Resume from every cursor the run surfaced: still identical.
+            for cur in &cursors {
+                let resumed = cs.run_resumable(&spec, cur, chunk, &mut |_| {}).unwrap();
+                assert_eq!(
+                    resumed.to_jsonl(),
+                    oracle,
+                    "cursor={} chunk={chunk}",
+                    cur.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_guards_its_shape() {
+        let w = sample_workload();
+        let mut spec = SweepSpec::default_grid(&w.meta);
+        spec.gpus = vec![1, 2];
+        let res = sweep(&w, &spec).unwrap();
+        let ck = SweepCheckpoint {
+            total: res.points.len(),
+            digest: sweep_digest(&w, &spec),
+            points: res.points[..3].to_vec(),
+        };
+        let back = SweepCheckpoint::parse_jsonl(&ck.to_jsonl()).unwrap();
+        assert_eq!(back, ck);
+        // Every parsed point re-serializes byte-identically.
+        for (a, b) in ck.points.iter().zip(&back.points) {
+            assert_eq!(a.to_json(false), b.to_json(false));
+        }
+        // Torn file: declared count disagrees with carried lines.
+        let mut torn = ck.to_jsonl();
+        torn.truncate(torn.trim_end().rfind('\n').unwrap() + 1);
+        let err = SweepCheckpoint::parse_jsonl(&torn).unwrap_err();
+        assert!(err.to_string().contains("declares 3"), "{err}");
+        // Wrong version and non-checkpoint headers are typed errors too.
+        assert!(SweepCheckpoint::parse_jsonl("{\"type\":\"sweep\"}").is_err());
+        assert!(SweepCheckpoint::parse_jsonl(
+            "{\"type\":\"sweep_checkpoint\",\"version\":2,\"digest\":0,\"total\":0,\"completed\":0}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn resume_refuses_a_cursor_for_a_different_grid() {
+        let w = sample_workload();
+        let spec = SweepSpec {
+            calibs: vec![SweepCalib::resolve("identity", &w.meta).unwrap()],
+            gpus: vec![1, 2],
+            schedules: vec![SchedulePolicyKind::Auto],
+            deadline: None,
+        };
+        let res = sweep(&w, &spec).unwrap();
+        // Swapped axis order: point 0 claims gpus=2 where the grid has 1.
+        let mut wrong = res.points.clone();
+        wrong.reverse();
+        let err = sweep_resumable(&w, &spec, &wrong, 8, &mut |_| {}).unwrap_err();
+        assert!(
+            matches!(err, SweepResumeError::CursorMismatch { index: 0, .. }),
+            "{err}"
+        );
+        // Oversized cursor.
+        let mut long = res.points.clone();
+        long.extend(res.points.iter().cloned());
+        let err = sweep_resumable(&w, &spec, &long, 8, &mut |_| {}).unwrap_err();
+        assert!(
+            matches!(err, SweepResumeError::CursorBeyondGrid { .. }),
+            "{err}"
+        );
+        // Digest separates specs sharing a workload.
+        let mut other = spec.clone();
+        other.gpus = vec![1, 2, 4];
+        assert_ne!(sweep_digest(&w, &spec), sweep_digest(&w, &other));
+        assert_eq!(sweep_digest(&w, &spec), sweep_digest(&w, &spec.clone()));
     }
 
     #[test]

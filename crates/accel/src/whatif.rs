@@ -504,7 +504,7 @@ impl RecordedWorkload {
     }
 }
 
-fn parse_err(line: usize, msg: impl Into<String>) -> WhatifError {
+pub(crate) fn parse_err(line: usize, msg: impl Into<String>) -> WhatifError {
     WhatifError::Parse {
         line,
         msg: msg.into(),
@@ -636,7 +636,8 @@ fn write_segment(node: usize, rank: usize, seg: &Segment, out: &mut String) {
 }
 
 /// Pull a `"field":"value"` string out of one JSON line (unescaping).
-fn str_field(line: &str, field: &str) -> Option<String> {
+/// Shared with the sweep's checkpoint reader.
+pub(crate) fn str_field(line: &str, field: &str) -> Option<String> {
     let key = format!("\"{field}\":\"");
     let start = line.find(&key)? + key.len();
     let mut out = String::new();
@@ -652,7 +653,7 @@ fn str_field(line: &str, field: &str) -> Option<String> {
 }
 
 /// Pull a `"field":number` out of one JSON line.
-fn raw_num_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+pub(crate) fn raw_num_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
     let key = format!("\"{field}\":");
     let start = line.find(&key)? + key.len();
     let rest = &line[start..];
@@ -665,19 +666,23 @@ fn raw_num_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-fn num_field(line: &str, field: &str, ln: usize) -> Result<f64, WhatifError> {
+pub(crate) fn num_field(line: &str, field: &str, ln: usize) -> Result<f64, WhatifError> {
     raw_num_field(line, field)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err(ln, format!("missing or invalid numeric field '{field}'")))
 }
 
-fn int_field<T: std::str::FromStr>(line: &str, field: &str, ln: usize) -> Result<T, WhatifError> {
+pub(crate) fn int_field<T: std::str::FromStr>(
+    line: &str,
+    field: &str,
+    ln: usize,
+) -> Result<T, WhatifError> {
     raw_num_field(line, field)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err(ln, format!("missing or invalid integer field '{field}'")))
 }
 
-fn bool_field(line: &str, field: &str, ln: usize) -> Result<bool, WhatifError> {
+pub(crate) fn bool_field(line: &str, field: &str, ln: usize) -> Result<bool, WhatifError> {
     let key = format!("\"{field}\":");
     let start = line
         .find(&key)

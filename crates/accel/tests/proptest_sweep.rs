@@ -8,7 +8,7 @@
 //! configuration), and the identity grid point always reproduces the
 //! trace-level oracle bit for bit.
 
-use accel_sim::sweep::{sweep, SweepCalib, SweepSpec};
+use accel_sim::sweep::{sweep, sweep_digest, SweepCalib, SweepCheckpoint, SweepSpec};
 use accel_sim::whatif::{RecordMeta, RecordedWorkload};
 use accel_sim::{KernelProfile, RankTrace, SchedulePolicyKind, Segment, TransferDir};
 use proptest::prelude::*;
@@ -156,6 +156,33 @@ proptest! {
             .expect("identity in default grid");
         let oracle = w.replay_identity().expect("fits").cluster.wall_seconds;
         prop_assert_eq!(id.makespan.expect("evaluates").to_bits(), oracle.to_bits());
+    }
+
+    #[test]
+    fn checkpoint_cursor_round_trips_any_completed_prefix(
+        w in arb_workload(),
+        take in 0usize..64,
+    ) {
+        // Whatever prefix of the grid a killed sweep had completed, the
+        // persisted cursor must parse back equal — same points, same
+        // digest — and re-serialize byte-identically, or a resumed sweep
+        // could silently diverge from the uninterrupted run.
+        let spec = grid(&w.meta);
+        let res = sweep(&w, &spec).expect("sweep");
+        let n = take.min(res.points.len());
+        let ck = SweepCheckpoint {
+            total: res.points.len(),
+            digest: sweep_digest(&w, &spec),
+            points: res.points[..n].to_vec(),
+        };
+        let back = SweepCheckpoint::parse_jsonl(&ck.to_jsonl()).expect("parse");
+        prop_assert_eq!(&back, &ck);
+        prop_assert_eq!(back.to_jsonl(), ck.to_jsonl());
+        for (a, b) in ck.points.iter().zip(&back.points) {
+            prop_assert_eq!(a.makespan.map(f64::to_bits), b.makespan.map(f64::to_bits));
+            prop_assert_eq!(a.cost.map(f64::to_bits), b.cost.map(f64::to_bits));
+            prop_assert_eq!(a.lower_bound.to_bits(), b.lower_bound.to_bits());
+        }
     }
 
     #[test]

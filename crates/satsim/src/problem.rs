@@ -10,7 +10,7 @@
 //! [`accel_sim::NodeCalib::scaled`] shrinks every fixed latency and
 //! capacity by the same factor, so simulated runtimes are `scale ×` the
 //! paper-scale ones and every reported ratio is scale-invariant
-//! (DESIGN.md § 9).
+//! (DESIGN.md § 10).
 
 use accel_sim::NodeCalib;
 use toast_core::data::SkyGeometry;

@@ -28,9 +28,11 @@ use accel_sim::whatif::preset;
 use accel_sim::{CpuCalib, DeviceCalib, SweepSpec};
 
 pub mod analyze;
+pub mod envelope;
 pub mod json;
 
 pub use analyze::check_scenario;
+pub use envelope::JobRequest;
 
 use json::{as_bool, as_f64, as_int, as_str, Fields, Value};
 
@@ -478,8 +480,15 @@ impl Scenario {
 
     /// Parse and validate a scenario document.
     pub fn parse(text: &str) -> Result<Self, ScenarioError> {
-        let root = json::parse(text)?;
-        let mut f = Fields::of(root, "scenario", 1)?;
+        Self::from_value(json::parse(text)?, 1)
+    }
+
+    /// Decode and validate an already-parsed JSON value. The service's
+    /// job envelope carries scenarios as nested objects, so decoding
+    /// must compose; `line` is where the object appeared in its
+    /// enclosing document, for error context.
+    pub fn from_value(root: Value, line: usize) -> Result<Self, ScenarioError> {
+        let mut f = Fields::of(root, "scenario", line)?;
         let version: u64 = as_int(f.require("schema_version")?, "schema_version")?;
         if version != SCHEMA_VERSION {
             return Err(ScenarioError::UnknownVersion { version });

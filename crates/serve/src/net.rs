@@ -1,0 +1,131 @@
+//! Unix-socket transport: the same [`Service`] loop, served to local
+//! clients one connection at a time.
+//!
+//! Connections are handled sequentially on purpose: the service's whole
+//! value is batching compatible jobs through one compiled arena and one
+//! deterministic thread pool, and a second concurrent drain would race
+//! both. A client that wants interleaving submits more jobs per
+//! connection instead. There is deliberately no TCP listener — the
+//! service prices simulations, it does not need a network attack
+//! surface.
+
+use std::io::{self, BufReader};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+
+use crate::{ScenarioExec, Service};
+
+/// Serve connections on a Unix socket at `path` until a client sends
+/// `shutdown`. A stale socket file from a previous run is replaced. The
+/// queue and counters persist across connections: jobs one client
+/// queued and abandoned (EOF drains them) are visible in the stats any
+/// later client reads.
+pub fn serve_unix<E: ScenarioExec>(service: &mut Service<E>, path: &Path) -> io::Result<()> {
+    // Binding fails with AddrInUse if the file exists, even with no
+    // listener behind it; a leftover from a killed process is the
+    // expected case for a service built to be killed and resumed.
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    let result = accept_loop(service, &listener);
+    let _ = std::fs::remove_file(path);
+    result
+}
+
+fn accept_loop<E: ScenarioExec>(
+    service: &mut Service<E>,
+    listener: &UnixListener,
+) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        // A client vanishing mid-reply (broken pipe) ends that
+        // connection, not the service.
+        match service.serve(reader, stream) {
+            Ok(true) => return Ok(()),
+            Ok(false) => {}
+            Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScenarioOutcome, ServeConfig};
+    use scenario::Scenario;
+    use std::io::{BufRead, Write};
+    use std::os::unix::net::UnixStream;
+
+    struct FixedExec;
+
+    impl ScenarioExec for FixedExec {
+        fn run_scenario(&mut self, _: &Scenario) -> Result<ScenarioOutcome, String> {
+            Ok(ScenarioOutcome {
+                makespan: 2.5,
+                node_wall: 2.0,
+                comm_seconds: 0.5,
+                transfer_bytes: 0.0,
+                segments: 10,
+            })
+        }
+    }
+
+    #[test]
+    fn socket_serves_across_connections_and_stops_on_shutdown() {
+        let dir = std::env::temp_dir().join(format!("simd-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("simd.sock");
+        // Stale socket files must not wedge the next boot.
+        std::fs::write(&sock, b"").unwrap();
+
+        let path = sock.clone();
+        let server = std::thread::spawn(move || {
+            let mut svc = Service::new(ServeConfig::default(), FixedExec);
+            serve_unix(&mut svc, &path).unwrap();
+            svc.stats().completed
+        });
+
+        // First connection: queue one scenario, then EOF (drains it).
+        let connect = || {
+            for _ in 0..200 {
+                if let Ok(s) = UnixStream::connect(&sock) {
+                    return s;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            panic!("server never bound {}", sock.display());
+        };
+        let mut c1 = connect();
+        let s = Scenario::new("net", scenario::ProblemSize::Medium, 1e-3);
+        writeln!(
+            c1,
+            "{{\"type\":\"submit\",\"id\":\"n1\",\"scenario\":{}}}",
+            s.to_json_compact()
+        )
+        .unwrap();
+        c1.shutdown(std::net::Shutdown::Write).unwrap();
+        let lines: Vec<String> = BufReader::new(c1).lines().map(|l| l.unwrap()).collect();
+        assert!(
+            lines.iter().any(|l| l.contains("\"state\":\"done\"")),
+            "{lines:?}"
+        );
+
+        // Second connection sees the first one's work in the counters,
+        // then shuts the service down.
+        let mut c2 = connect();
+        writeln!(c2, "{{\"type\":\"stats\"}}").unwrap();
+        writeln!(c2, "{{\"type\":\"shutdown\"}}").unwrap();
+        let mut reply = String::new();
+        let mut r2 = BufReader::new(c2);
+        r2.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"completed\":1"), "{reply}");
+
+        assert_eq!(server.join().unwrap(), 1);
+        assert!(!sock.exists(), "socket file must be removed on exit");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -6,32 +6,53 @@
 //! implementations reproduce the CPU baseline on generated data with
 //! varied intervals, real noise and a structured sky.
 
+use repro_bench::RunConfig;
+use scenario::{ImplKind, MovementPolicy, ProblemSize, Scenario};
 use toast_repro::accel_sim::Context;
-use toast_repro::toast_core::dispatch::ImplKind;
 use toast_repro::toast_core::kernels::ExecCtx;
-use toast_repro::toast_core::pipeline::{benchmark_pipeline, MovementPolicy};
+use toast_repro::toast_core::pipeline::benchmark_pipeline;
 use toast_repro::toast_core::workspace::Workspace;
 use toast_repro::toast_satsim::Problem;
 
-fn problem() -> Problem {
-    let mut p = Problem::medium(1e-3);
-    p.n_det_total = 32;
-    p.total_samples *= 32.0 / 2048.0;
-    p.n_obs = 2;
-    p
+/// Ranks per node for these tests: the suite inspects one rank's
+/// workspace, so it keeps the rank count small and independent of the
+/// scenario's thread partitioning.
+const RANKS: u32 = 2;
+
+/// The trimmed medium problem as a [`Scenario`]: 32 detectors over two
+/// observations, samples scaled to match. Overrides live in the scenario
+/// (the same `problem.*` fields a scenario file would carry), not in
+/// hand-mutated [`Problem`] structs.
+fn scenario(kind: ImplKind) -> Scenario {
+    let base = Problem::medium(1e-3);
+    let mut s = Scenario::new("cross implementation", ProblemSize::Medium, 1e-3)
+        .with_kind(kind)
+        .with_procs(8);
+    s.problem.n_det_total = Some(32);
+    s.problem.total_samples = Some(base.total_samples * 32.0 / 2048.0);
+    s.problem.n_obs = Some(2);
+    s
 }
 
-fn run(kind: ImplKind) -> (Workspace, Context) {
-    let p = problem();
-    let mut ws = p.rank_workspace(0, 2);
-    let mut ctx = Context::new(p.calib());
-    let mut exec = ExecCtx::new(kind, 8);
-    let host = p.host_seconds_per_rank(&ws, 2);
-    let pipe = benchmark_pipeline(host);
+fn run_with(s: &Scenario) -> (Workspace, Context) {
+    // Project through the runner's configuration — the same path every
+    // scenario file takes — then drive the pipeline at workspace level
+    // so individual rank outputs stay inspectable.
+    let cfg = RunConfig::from_scenario(s).expect("valid scenario");
+    let p = &cfg.problem;
+    let mut ws = p.rank_workspace(0, RANKS);
+    let mut ctx = Context::new(cfg.node_calib());
+    let mut exec = ExecCtx::new(cfg.kind, cfg.threads().expect("divides"));
+    let host = p.host_seconds_per_rank(&ws, RANKS);
+    let pipe = benchmark_pipeline(host).with_policy(cfg.movement);
     for _ in 0..p.n_obs {
         pipe.run(&mut ctx, &mut exec, &mut ws).expect("fits");
     }
     (ws, ctx)
+}
+
+fn run(kind: ImplKind) -> (Workspace, Context) {
+    run_with(&scenario(kind))
 }
 
 fn assert_close(label: &str, a: &[f64], b: &[f64], tol: f64) {
@@ -98,12 +119,14 @@ fn device_time_is_far_below_cpu_time_for_the_kernels() {
 
 #[test]
 fn naive_movement_is_slower_but_equally_correct() {
-    let p = problem();
     let run_policy = |policy| {
-        let mut ws = p.rank_workspace(0, 2);
-        let mut ctx = Context::new(p.calib());
-        let mut exec = ExecCtx::new(ImplKind::OmpTarget, 8);
-        let pipe = benchmark_pipeline(0.01).with_policy(policy);
+        let mut s = scenario(ImplKind::OmpTarget).with_movement(policy);
+        s.problem.n_obs = Some(1);
+        let cfg = RunConfig::from_scenario(&s).expect("valid scenario");
+        let mut ws = cfg.problem.rank_workspace(0, RANKS);
+        let mut ctx = Context::new(cfg.node_calib());
+        let mut exec = ExecCtx::new(cfg.kind, cfg.threads().expect("divides"));
+        let pipe = benchmark_pipeline(0.01).with_policy(cfg.movement);
         pipe.run(&mut ctx, &mut exec, &mut ws).expect("fits");
         (ws, ctx)
     };

@@ -4,32 +4,35 @@
 //! replay) at reduced size but unchanged structure.
 
 use repro_bench::{run_config, RunConfig, RunOutcome};
-use toast_repro::toast_core::dispatch::ImplKind;
-use toast_repro::toast_satsim::Problem;
-
-fn run(p: Problem, kind: ImplKind, procs: u32) -> RunOutcome {
-    run_config(&RunConfig::new(p, kind, procs).expect("valid procs")).expect("valid config")
-}
+use scenario::{ImplKind, ProblemSize, Scenario};
 
 /// The full medium problem at small scale — expensive, so tests that need
-/// the real memory proportions share it.
-fn medium() -> Problem {
-    let mut p = Problem::medium(1e-3);
+/// the real memory proportions share it. Expressed as a [`Scenario`] and
+/// projected through [`RunConfig::from_scenario`], the same path every
+/// scenario file takes.
+fn medium(kind: ImplKind, procs: u32) -> Scenario {
+    let mut s = Scenario::new("simulator behaviour", ProblemSize::Medium, 1e-3)
+        .with_kind(kind)
+        .with_procs(procs);
     // Trim compute while keeping the memory ratios: per-observation
     // footprints (which drive the OOM pattern) depend on n_obs, so trim
     // the solver passes instead — they only repeat kernels over resident
     // data.
-    p.passes = 1;
-    p
+    s.problem.passes = Some(1);
+    s
+}
+
+fn run_scenario(s: &Scenario) -> RunOutcome {
+    run_config(&RunConfig::from_scenario(s).expect("valid scenario")).expect("valid config")
+}
+
+fn run(kind: ImplKind, procs: u32) -> RunOutcome {
+    run_scenario(&medium(kind, procs))
 }
 
 #[test]
 fn jit_oversubscription_peaks_at_two_processes_per_gpu() {
-    let t = |procs| {
-        run(medium(), ImplKind::Jit, procs)
-            .runtime()
-            .unwrap_or(f64::INFINITY)
-    };
+    let t = |procs| run(ImplKind::Jit, procs).runtime().unwrap_or(f64::INFINITY);
     let (t4, t8) = (t(4), t(8));
     assert!(
         t8 < t4,
@@ -39,13 +42,12 @@ fn jit_oversubscription_peaks_at_two_processes_per_gpu() {
 
 #[test]
 fn jit_runs_out_of_memory_at_one_process_but_offload_fits() {
-    let p = medium();
-    let jit = run(p.clone(), ImplKind::Jit, 1);
+    let jit = run(ImplKind::Jit, 1);
     assert!(
         jit.runtime().is_none(),
         "the paper's JAX run does not fit one process on a 40 GB device"
     );
-    let omp = run(p, ImplKind::OmpTarget, 1);
+    let omp = run(ImplKind::OmpTarget, 1);
     assert!(
         omp.runtime().is_some(),
         "the paper's offload run fits at one process"
@@ -54,34 +56,25 @@ fn jit_runs_out_of_memory_at_one_process_but_offload_fits() {
 
 #[test]
 fn both_device_ports_run_out_of_memory_at_64_processes() {
-    let p = medium();
     for kind in [ImplKind::Jit, ImplKind::OmpTarget] {
-        let out = run(p.clone(), kind, 64);
+        let out = run(kind, 64);
         assert!(
             out.runtime().is_none(),
             "{kind:?} at 64 procs should exceed device memory (16 contexts per GPU)"
         );
     }
     // The CPU baseline is unaffected (Fig. 4 plots it at 64).
-    let cpu = run(p, ImplKind::Cpu, 64);
+    let cpu = run(ImplKind::Cpu, 64);
     assert!(cpu.runtime().is_some());
 }
 
 #[test]
 fn disabling_mps_erases_the_oversubscription_benefit() {
-    let p = medium();
-    let mut with_mps = RunConfig::new(p.clone(), ImplKind::OmpTarget, 16).expect("valid procs");
-    with_mps.mps = true;
-    let mut without = with_mps.clone();
-    without.mps = false;
-    let t_on = run_config(&with_mps)
-        .expect("valid config")
+    let base = medium(ImplKind::OmpTarget, 16);
+    let t_on = run_scenario(&base.clone().with_mps(true))
         .runtime()
         .unwrap();
-    let t_off = run_config(&without)
-        .expect("valid config")
-        .runtime()
-        .unwrap();
+    let t_off = run_scenario(&base.with_mps(false)).runtime().unwrap();
     assert!(
         t_off > 1.05 * t_on,
         "without MPS the driver context-switches: on {t_on} off {t_off}"
@@ -90,7 +83,7 @@ fn disabling_mps_erases_the_oversubscription_benefit() {
 
 #[test]
 fn the_cpu_curve_falls_with_process_count() {
-    let t = |procs| run(medium(), ImplKind::Cpu, procs).runtime().unwrap();
+    let t = |procs| run(ImplKind::Cpu, procs).runtime().unwrap();
     let (t1, t16) = (t(1), t(16));
     assert!(
         t16 < 0.5 * t1,
@@ -100,9 +93,8 @@ fn the_cpu_curve_falls_with_process_count() {
 
 #[test]
 fn the_jit_cpu_backend_is_much_slower_than_the_parallel_baseline() {
-    let p = medium();
-    let cpu = run(p.clone(), ImplKind::Cpu, 16).runtime().unwrap();
-    let jit_cpu = run(p, ImplKind::JitCpu, 16).runtime().unwrap();
+    let cpu = run(ImplKind::Cpu, 16).runtime().unwrap();
+    let jit_cpu = run(ImplKind::JitCpu, 16).runtime().unwrap();
     let ratio = jit_cpu / cpu;
     assert!(
         ratio > 3.0,
